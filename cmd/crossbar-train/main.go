@@ -1,0 +1,38 @@
+// Command crossbar-train regenerates the analog-crossbar training
+// experiments of §II: the Fig. 1 cycle demonstration (F1), the Fig. 2 RRAM
+// pulse response (F2), the RPU device-spec sweep (C1), the PCM study (C2)
+// and the asymmetric-device training-algorithm comparison (C3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crossbar-train: ")
+	seed := flag.Uint64("seed", 1234, "experiment seed")
+	quick := flag.Bool("quick", false, "run reduced-size variants")
+	only := flag.String("experiment", "", "run a single experiment (F1, F2, C0, C1, C2, C3, C7)")
+	flag.Parse()
+
+	ids := []string{"F1", "F2", "C0", "C1", "C2", "C3", "C7"}
+	if *only != "" {
+		ids = []string{*only}
+	}
+	for _, id := range ids {
+		e, ok := core.Lookup(id)
+		if !ok {
+			log.Fatalf("unknown experiment %q", id)
+		}
+		fmt.Printf("\n=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
+		if err := e.Run(os.Stdout, *seed, *quick); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

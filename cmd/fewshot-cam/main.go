@@ -1,0 +1,38 @@
+// Command fewshot-cam regenerates the §IV CAM/TCAM studies: few-shot
+// retrieval accuracy across metrics and precisions (C4), the cosine-vs-LSH
+// comparison of Fig. 5 (F5), the TCAM-vs-GPU memory-search costs (C5), and
+// the 2-FeFET vs 16T CMOS cell comparison (C6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fewshot-cam: ")
+	seed := flag.Uint64("seed", 1234, "experiment seed")
+	quick := flag.Bool("quick", false, "run reduced-size variants")
+	only := flag.String("experiment", "", "run a single experiment (C4, F5, C5, C6)")
+	flag.Parse()
+
+	ids := []string{"C4", "F5", "C5", "C6"}
+	if *only != "" {
+		ids = []string{*only}
+	}
+	for _, id := range ids {
+		e, ok := core.Lookup(id)
+		if !ok {
+			log.Fatalf("unknown experiment %q", id)
+		}
+		fmt.Printf("\n=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
+		if err := e.Run(os.Stdout, *seed, *quick); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Command recsys-char regenerates the §V recommendation-workload
+// characterization (experiment T2): per-operator intensity, roofline
+// placement, capacity accounting, embedding-locality study, and a
+// functional CTR training run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recsys-char: ")
+	seed := flag.Uint64("seed", 1234, "experiment seed")
+	quick := flag.Bool("quick", false, "run a reduced-size variant")
+	flag.Parse()
+
+	e, _ := core.Lookup("T2")
+	fmt.Printf("=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
+	if err := e.Run(os.Stdout, *seed, *quick); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+// Command repro-all runs the complete experiment registry (every figure,
+// claim, and table of the paper) and writes the results to stdout — the
+// harness used to produce EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro-all: ")
+	seed := flag.Uint64("seed", 1234, "experiment seed")
+	quick := flag.Bool("quick", false, "run reduced-size variants")
+	flag.Parse()
+
+	if err := core.RunAll(os.Stdout, *seed, *quick); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+// Command xmann-bench regenerates the §III-B comparison of the X-MANN
+// crossbar accelerator against the GPU baseline over the MANN benchmark
+// suite (experiment T1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xmann-bench: ")
+	seed := flag.Uint64("seed", 1234, "experiment seed")
+	quick := flag.Bool("quick", false, "run a reduced suite")
+	flag.Parse()
+
+	e, _ := core.Lookup("T1")
+	fmt.Printf("=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
+	if err := e.Run(os.Stdout, *seed, *quick); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: a five-minute tour of the library's three pillars — analog
+// crossbar training (§II), CAM-based few-shot retrieval (§IV), and
+// recommendation-model characterization (§V).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/crossbar"
+	"repro/internal/dataset"
+	"repro/internal/mann"
+	"repro/internal/perfmodel"
+	"repro/internal/quant"
+	"repro/internal/recsys"
+	"repro/internal/rngutil"
+)
+
+func main() {
+	fmt.Println("== 1. Train an MLP on simulated analog crossbars ==")
+	cfg := analog.DefaultExperiment()
+	cfg.Data = dataset.DigitsConfig{Classes: 6, Dim: 16, PerClass: 60, Noise: 0.5, Separation: 1}
+	cfg.Hidden = []int{12}
+	cfg.Epochs = 6
+
+	digital := analog.RunDigitsDigital(cfg)
+	fmt.Printf("fp32 digital baseline:            %.3f test accuracy\n", digital.TestAccuracy)
+
+	idealRes, _ := analog.RunDigitsAnalog(analog.DefaultOptions(crossbar.Ideal(), analog.PlainSGD), cfg)
+	fmt.Printf("ideal analog device, plain SGD:   %.3f\n", idealRes.TestAccuracy)
+
+	rramRes, _ := analog.RunDigitsAnalog(analog.DefaultOptions(crossbar.RRAM(), analog.TikiTaka), cfg)
+	fmt.Printf("RRAM-like device, Tiki-Taka:      %.3f\n", rramRes.TestAccuracy)
+
+	fmt.Println("\n== 2. Few-shot retrieval: fp32 cosine vs 4-bit TCAM metrics ==")
+	u := dataset.NewFewShotUniverse(dataset.DefaultFewShot(), rngutil.New(7))
+	eval := mann.EvalConfig{NWay: 5, KShot: 1, NQuery: 3, Episodes: 30, MemoryEntries: 256, Seed: 11}
+	for _, r := range []mann.Retriever{
+		&mann.ExactRetriever{Metric: mann.Cosine},
+		&mann.QuantizedRetriever{Metric: mann.LinfL2, Q: quant.New(4, 0.4)},
+		mann.NewLSHRetriever(u.Cfg.Dim, 512, rngutil.New(3)),
+	} {
+		fmt.Printf("%-24s %.3f accuracy\n", r.Name(), mann.EvaluateFewShot(u, r, eval))
+	}
+
+	fmt.Println("\n== 3. Recommendation workloads: where does the time go? ==")
+	roof := perfmodel.Roofline{PeakFLOPS: 10e12, MemBW: 600e9}
+	for _, c := range []recsys.Config{recsys.RMCEmbed(), recsys.RMCMLP()} {
+		fmt.Printf("%-10s capacity %8.0f MB, dominant operator at batch 128: %s\n",
+			c.Name, float64(recsys.CapacityBytes(c))/1e6, recsys.DominantOp(c, 128, roof))
+	}
+}

@@ -1,0 +1,90 @@
+package analog
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rngutil"
+)
+
+// ExperimentConfig drives one digits-classification training run, the
+// shared workload of experiments C1–C3.
+type ExperimentConfig struct {
+	Hidden    []int   // hidden layer sizes
+	Epochs    int     // training epochs
+	LR        float64 // SGD learning rate
+	Seed      uint64
+	Data      dataset.DigitsConfig
+	TrainFrac float64
+}
+
+// DefaultExperiment returns the small-but-meaningful configuration used by
+// the device-spec sweeps: a 64-32-10 MLP on the synthetic digits task.
+func DefaultExperiment() ExperimentConfig {
+	return ExperimentConfig{
+		Hidden:    []int{32},
+		Epochs:    8,
+		LR:        0.05,
+		Seed:      1234,
+		Data:      dataset.DefaultDigits(),
+		TrainFrac: 0.8,
+	}
+}
+
+// TrainResult summarizes one run.
+type TrainResult struct {
+	TestAccuracy  float64
+	TrainAccuracy float64
+	EpochLoss     []float64
+}
+
+// EpochHook is called after each epoch; trainers use it for time-based
+// device effects (drift) and maintenance (PCM reset).
+type EpochHook func(epoch int)
+
+// RunDigits trains an MLP whose weight storage comes from factory on the
+// synthetic digits task and reports accuracies. All randomness derives from
+// cfg.Seed, so runs are exactly reproducible.
+func RunDigits(factory nn.MatFactory, cfg ExperimentConfig, hooks ...EpochHook) TrainResult {
+	rng := rngutil.New(cfg.Seed)
+	ds := dataset.Digits(cfg.Data, rng.Child("data"))
+	train, test := ds.Split(cfg.TrainFrac)
+
+	sizes := append([]int{cfg.Data.Dim}, cfg.Hidden...)
+	sizes = append(sizes, cfg.Data.Classes)
+	m := nn.NewMLP(sizes, nn.TanhAct, nn.SoftmaxAct, factory)
+
+	res := TrainResult{}
+	order := make([]int, train.Len())
+	for i := range order {
+		order[i] = i
+	}
+	shuffleRng := rng.Child("order")
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffleRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var loss float64
+		for _, i := range order {
+			loss += m.TrainStep(train.X[i], train.Y[i], cfg.LR)
+		}
+		res.EpochLoss = append(res.EpochLoss, loss/float64(train.Len()))
+		for _, h := range hooks {
+			h(epoch)
+		}
+	}
+	res.TrainAccuracy = m.Accuracy(train.X, train.Y)
+	res.TestAccuracy = m.Accuracy(test.X, test.Y)
+	return res
+}
+
+// RunDigitsDigital is the fp32 reference run (experiment baseline).
+func RunDigitsDigital(cfg ExperimentConfig) TrainResult {
+	rng := rngutil.New(cfg.Seed)
+	return RunDigits(nn.DenseFactory(rng.Child("weights")), cfg)
+}
+
+// RunDigitsAnalog trains on simulated crossbars with the given session
+// options.
+func RunDigitsAnalog(opts Options, cfg ExperimentConfig, hooks ...EpochHook) (TrainResult, *Session) {
+	sess := NewSession(opts, rngutil.New(cfg.Seed).Child("session"))
+	res := RunDigits(sess.Factory(), cfg, hooks...)
+	return res, sess
+}

@@ -1,0 +1,206 @@
+// Package cam simulates ternary content-addressable memories (TCAMs) — the
+// §IV hardware that replaces DRAM-plus-GPU distance computation in
+// memory-augmented networks with a single parallel in-memory search. It
+// provides the functional array (ternary storage, exact-match and
+// best-match search with match-line degree-of-match sensing), the
+// binary-reflected-Gray-code range encoding of RENE (paper refs. [53],
+// [54]) for L∞ cube queries, and cell-technology cost models (16T CMOS vs
+// 2-FeFET, paper ref. [9]) for the energy/latency tables.
+package cam
+
+import "fmt"
+
+// Trit is a ternary cell value.
+type Trit uint8
+
+// Ternary cell states. X is "don't care": it matches both 0 and 1 whether
+// stored or queried.
+const (
+	Zero Trit = iota
+	One
+	X
+)
+
+// String implements fmt.Stringer.
+func (t Trit) String() string {
+	switch t {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "x"
+	}
+	return "?"
+}
+
+// Row is one stored TCAM word.
+type Row []Trit
+
+// RowFromBits builds a fully specified row from booleans.
+func RowFromBits(bits []bool) Row {
+	r := make(Row, len(bits))
+	for i, b := range bits {
+		if b {
+			r[i] = One
+		}
+	}
+	return r
+}
+
+// RowFromUint builds a width-bit row from the low bits of v (bit 0 first).
+func RowFromUint(v uint64, width int) Row {
+	r := make(Row, width)
+	for i := 0; i < width; i++ {
+		if v&(1<<uint(i)) != 0 {
+			r[i] = One
+		}
+	}
+	return r
+}
+
+// Mismatches counts cells where the stored trit conflicts with the query
+// trit; an X on either side never conflicts. This is the quantity the
+// match line physically exposes: each conflicting cell opens one pull-down
+// path.
+func Mismatches(stored, query Row) int {
+	if len(stored) != len(query) {
+		panic(fmt.Sprintf("cam: width mismatch %d vs %d", len(stored), len(query)))
+	}
+	m := 0
+	for i, s := range stored {
+		q := query[i]
+		if s != X && q != X && s != q {
+			m++
+		}
+	}
+	return m
+}
+
+// TCAM is a functional ternary CAM array of uniform width.
+type TCAM struct {
+	Width int
+	Rows  []Row
+
+	// Searches counts search operations issued, for cost accounting.
+	Searches int64
+}
+
+// New returns an empty TCAM with the given word width.
+func New(width int) *TCAM {
+	if width <= 0 {
+		panic("cam: width must be positive")
+	}
+	return &TCAM{Width: width}
+}
+
+// Store appends a row and returns its index. It panics on width mismatch.
+func (t *TCAM) Store(r Row) int {
+	if len(r) != t.Width {
+		panic(fmt.Sprintf("cam: row width %d, array width %d", len(r), t.Width))
+	}
+	t.Rows = append(t.Rows, r)
+	return len(t.Rows) - 1
+}
+
+// Len reports the number of stored rows.
+func (t *TCAM) Len() int { return len(t.Rows) }
+
+// SearchExact returns the indices of all rows that match the query with
+// zero conflicting cells — the classical single-cycle TCAM operation.
+func (t *TCAM) SearchExact(query Row) []int {
+	t.Searches++
+	var out []int
+	for i, r := range t.Rows {
+		if Mismatches(r, query) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BestMatch returns the row with the fewest conflicting cells and that
+// count, implementing degree-of-match sensing: the match line of the best
+// row discharges slowest (§IV-B.2). It returns (-1, -1) for an empty array.
+func (t *TCAM) BestMatch(query Row) (idx, mismatches int) {
+	t.Searches++
+	idx, mismatches = -1, -1
+	for i, r := range t.Rows {
+		m := Mismatches(r, query)
+		if idx == -1 || m < mismatches {
+			idx, mismatches = i, m
+		}
+	}
+	return idx, mismatches
+}
+
+// MatchCounts returns the mismatch count of every row for the query in a
+// single search — the full degree-of-match readout used when several
+// near-matches must be ranked.
+func (t *TCAM) MatchCounts(query Row) []int {
+	t.Searches++
+	out := make([]int, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = Mismatches(r, query)
+	}
+	return out
+}
+
+// KNearestBinary returns the indices of the k best-matching rows using
+// binary match comparators only (§IV-B.1): the array cannot rank matches in
+// one shot, so one search is issued per retrieved neighbor (each found row
+// is masked and the search repeated), charging k match-line cycles.
+func (t *TCAM) KNearestBinary(query Row, k int) []int {
+	if k > len(t.Rows) {
+		k = len(t.Rows)
+	}
+	taken := make([]bool, len(t.Rows))
+	out := make([]int, 0, k)
+	for len(out) < k {
+		t.Searches++
+		best, bestM := -1, -1
+		for i, r := range t.Rows {
+			if taken[i] {
+				continue
+			}
+			if m := Mismatches(r, query); best == -1 || m < bestM {
+				best, bestM = i, m
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// KNearestDegree returns the same k best rows using a single
+// degree-of-match search: the match-line discharge rates expose every row's
+// mismatch count at once (§IV-B.2), so only one search is charged.
+func (t *TCAM) KNearestDegree(query Row, k int) []int {
+	counts := t.MatchCounts(query) // one search
+	if k > len(counts) {
+		k = len(counts)
+	}
+	out := make([]int, 0, k)
+	taken := make([]bool, len(counts))
+	for len(out) < k {
+		best, bestM := -1, -1
+		for i, m := range counts {
+			if taken[i] {
+				continue
+			}
+			if best == -1 || m < bestM {
+				best, bestM = i, m
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		out = append(out, best)
+	}
+	return out
+}

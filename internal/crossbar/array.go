@@ -1,0 +1,421 @@
+package crossbar
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// UpdateMode selects how the rank-1 update is realized on the array.
+type UpdateMode int
+
+const (
+	// UpdateStochastic applies the fully parallel stochastic pulse scheme of
+	// Fig. 1 (right): independent Bernoulli pulse trains on rows and
+	// columns; each coincidence steps the crosspoint once.
+	UpdateStochastic UpdateMode = iota
+	// UpdateExpected applies the expected number of pulses per device
+	// directly (rounded stochastically). It preserves device nonlinearity
+	// and bounds while avoiding per-slot train generation; the ablation
+	// bench compares the two.
+	UpdateExpected
+)
+
+// Config holds the peripheral-circuit and array-level parameters.
+type Config struct {
+	// BL is the pulse-train length for stochastic updates (≤ 64).
+	BL int
+	// Update selects the update realization.
+	Update UpdateMode
+	// ReadNoise is the std of additive output noise per MVM component,
+	// in weight·input units (0 = noiseless periphery).
+	ReadNoise float64
+	// ADCBits quantizes MVM outputs to this many bits over
+	// [-OutputRange, +OutputRange]; 0 disables output quantization.
+	ADCBits int
+	// OutputRange is the ADC full-scale (bound management); outputs clip.
+	OutputRange float64
+	// DACBits quantizes inputs over [-InputRange, +InputRange]; 0 disables.
+	DACBits int
+	// InputRange is the DAC full-scale; inputs clip.
+	InputRange float64
+	// StuckFraction is the probability that a crosspoint is non-yielding
+	// and frozen (§II-B.2 imperfect yield).
+	StuckFraction float64
+	// StuckValueStd freezes faulty devices at a random weight drawn from
+	// N(0, StuckValueStd) — the "corrupt device" model — instead of at
+	// their pristine initial state (0 keeps the stuck-at-initial model).
+	StuckValueStd float64
+	// IRDrop is a first-order interconnect attenuation coefficient: outputs
+	// are scaled by 1 − IRDrop·cols/256, the voltage-drop penalty that
+	// grows with array width for low-resistance devices (§II-A).
+	IRDrop float64
+}
+
+// DefaultConfig returns sensible periphery defaults: 31-slot trains,
+// stochastic updates, ideal converters, no faults.
+func DefaultConfig() Config {
+	return Config{BL: 31, Update: UpdateStochastic, OutputRange: 10, InputRange: 1}
+}
+
+// OpCounts tallies array-level operations; each Forward/Backward/Update is
+// one constant-time array operation regardless of size (the O(1) claim of
+// §II-A), while DigitalMACs counts what the same work costs digitally.
+type OpCounts struct {
+	Forwards, Backwards, Updates int64
+	Pulses                       int64 // total device pulse events
+	DigitalMACs                  int64 // rows·cols per equivalent digital op
+}
+
+// Array is a crossbar of devices implementing the nn.Mat contract: forward
+// MVM along rows, backward (transposed) MVM along columns, and the parallel
+// rank-1 pulse update.
+type Array struct {
+	rows, cols int
+	cfg        Config
+	model      Model
+	dev        []Device // row-major
+	stuck      []bool
+	w          *tensor.Matrix // mirror of device weights for fast MVM
+	rng        *rngutil.Source
+	Counts     OpCounts
+}
+
+// NewArray builds a rows×cols crossbar of fresh devices from model.
+func NewArray(rows, cols int, model Model, cfg Config, rng *rngutil.Source) *Array {
+	if cfg.BL <= 0 || cfg.BL > 64 {
+		panic(fmt.Sprintf("crossbar: BL must be in [1,64], got %d", cfg.BL))
+	}
+	a := &Array{
+		rows: rows, cols: cols, cfg: cfg, model: model,
+		dev:   make([]Device, rows*cols),
+		stuck: make([]bool, rows*cols),
+		w:     tensor.NewMatrix(rows, cols),
+		rng:   rng.Child("array"),
+	}
+	devRng := rng.Child("devices")
+	faultRng := rng.Child("faults")
+	lo, hi := model.WeightBounds()
+	for i := range a.dev {
+		a.dev[i] = model.New(devRng)
+		a.stuck[i] = faultRng.Bernoulli(cfg.StuckFraction)
+		a.w.Data[i] = a.dev[i].Weight()
+		if a.stuck[i] && cfg.StuckValueStd > 0 {
+			v := faultRng.Normal(0, cfg.StuckValueStd)
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			a.w.Data[i] = v // frozen at the corrupt value
+		}
+	}
+	return a
+}
+
+// Rows implements nn.Mat.
+func (a *Array) Rows() int { return a.rows }
+
+// Cols implements nn.Mat.
+func (a *Array) Cols() int { return a.cols }
+
+// Model returns the device model backing the array.
+func (a *Array) Model() Model { return a.model }
+
+// Weights returns a snapshot of the current (noiseless) device weights.
+func (a *Array) Weights() *tensor.Matrix { return a.w.Clone() }
+
+// quantize maps x onto the 2^bits-level uniform grid spanning
+// [-fullScale, fullScale] (endpoints included), clipping out-of-range inputs.
+func quantize(x float64, bits int, fullScale float64) float64 {
+	if bits <= 0 {
+		return x
+	}
+	n := int64(1) << uint(bits) // number of levels
+	step := 2 * fullScale / float64(n-1)
+	k := int64(math.Round((x + fullScale) / step))
+	if k < 0 {
+		k = 0
+	} else if k > n-1 {
+		k = n - 1
+	}
+	return -fullScale + float64(k)*step
+}
+
+func (a *Array) irFactor() float64 {
+	f := 1 - a.cfg.IRDrop*float64(a.cols)/256
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Forward implements nn.Mat: one analog MVM y = W·x with DAC quantization,
+// read noise, IR-drop attenuation, and ADC quantization.
+func (a *Array) Forward(x tensor.Vector) tensor.Vector {
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("crossbar: Forward expects %d inputs, got %d", a.cols, len(x)))
+	}
+	xin := x
+	if a.cfg.DACBits > 0 {
+		xin = make(tensor.Vector, len(x))
+		for j, v := range x {
+			xin[j] = quantize(v, a.cfg.DACBits, a.cfg.InputRange)
+		}
+	}
+	y := a.w.MatVec(xin)
+	a.finishRead(y)
+	a.Counts.Forwards++
+	a.Counts.DigitalMACs += int64(a.rows) * int64(a.cols)
+	return y
+}
+
+// Backward implements nn.Mat: the transposed MVM yᵀ = Wᵀ·d obtained by
+// swapping the roles of rows and columns at the periphery.
+func (a *Array) Backward(d tensor.Vector) tensor.Vector {
+	if len(d) != a.rows {
+		panic(fmt.Sprintf("crossbar: Backward expects %d inputs, got %d", a.rows, len(d)))
+	}
+	din := d
+	if a.cfg.DACBits > 0 {
+		din = make(tensor.Vector, len(d))
+		for i, v := range d {
+			din[i] = quantize(v, a.cfg.DACBits, a.cfg.InputRange)
+		}
+	}
+	y := a.w.MatVecT(din)
+	a.finishRead(y)
+	a.Counts.Backwards++
+	a.Counts.DigitalMACs += int64(a.rows) * int64(a.cols)
+	return y
+}
+
+func (a *Array) finishRead(y tensor.Vector) {
+	ir := a.irFactor()
+	for i := range y {
+		y[i] *= ir
+		if a.cfg.ReadNoise > 0 {
+			y[i] += a.rng.Normal(0, a.cfg.ReadNoise)
+		}
+		if a.cfg.ADCBits > 0 {
+			y[i] = quantize(y[i], a.cfg.ADCBits, a.cfg.OutputRange)
+		}
+	}
+}
+
+// Update implements nn.Mat: W += scale·(u ⊗ v) in expectation, realized with
+// device pulses per the configured update mode.
+func (a *Array) Update(scale float64, u, v tensor.Vector) {
+	if len(u) != a.rows || len(v) != a.cols {
+		panic(fmt.Sprintf("crossbar: Update shape mismatch %dx%d vs %dx%d", a.rows, a.cols, len(u), len(v)))
+	}
+	if scale == 0 {
+		return
+	}
+	a.Counts.Updates++
+	a.Counts.DigitalMACs += int64(a.rows) * int64(a.cols)
+	switch a.cfg.Update {
+	case UpdateStochastic:
+		a.updateStochastic(scale, u, v)
+	case UpdateExpected:
+		a.updateExpected(scale, u, v)
+	default:
+		panic("crossbar: unknown update mode")
+	}
+}
+
+// updateStochastic implements the Fig. 1 (right) scheme: each row i carries
+// a Bernoulli(p_i) pulse train, each column j a Bernoulli(q_j) train, over
+// BL slots; a crosspoint steps once per coincident slot. The amplification
+// factors are chosen so that E[Δw_ij] = scale·u_i·v_j when probabilities do
+// not saturate.
+func (a *Array) updateStochastic(scale float64, u, v tensor.Vector) {
+	bl := a.cfg.BL
+	dw := a.model.MeanStep()
+	c := math.Sqrt(math.Abs(scale) / (float64(bl) * dw))
+	rowTrains := make([]uint64, a.rows)
+	colTrains := make([]uint64, a.cols)
+	for i, ui := range u {
+		rowTrains[i] = a.train(math.Abs(ui) * c)
+	}
+	for j, vj := range v {
+		colTrains[j] = a.train(math.Abs(vj) * c)
+	}
+	sgnScale := math.Signbit(scale)
+	for i := 0; i < a.rows; i++ {
+		rt := rowTrains[i]
+		if rt == 0 {
+			continue
+		}
+		upRow := math.Signbit(u[i]) == sgnScale // sign(u_i·scale) > 0
+		base := i * a.cols
+		for j := 0; j < a.cols; j++ {
+			k := bits.OnesCount64(rt & colTrains[j])
+			if k == 0 {
+				continue
+			}
+			up := upRow == !math.Signbit(v[j]) // XOR with sign(v_j)
+			a.pulse(base+j, k, up)
+		}
+	}
+}
+
+// train samples a BL-slot Bernoulli(p) pulse train as a bitmask.
+func (a *Array) train(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1 // probability saturation; bound management in the trainer
+	}
+	var t uint64
+	for s := 0; s < a.cfg.BL; s++ {
+		if a.rng.Float64() < p {
+			t |= 1 << uint(s)
+		}
+	}
+	return t
+}
+
+// updateExpected applies round-to-pulse updates: n_ij = |scale·u_i·v_j|/Δw
+// pulses with stochastic rounding of the fractional part.
+func (a *Array) updateExpected(scale float64, u, v tensor.Vector) {
+	dw := a.model.MeanStep()
+	for i, ui := range u {
+		if ui == 0 {
+			continue
+		}
+		base := i * a.cols
+		su := scale * ui
+		for j, vj := range v {
+			if vj == 0 {
+				continue
+			}
+			target := su * vj
+			n := math.Abs(target) / dw
+			k := int(n)
+			if a.rng.Float64() < n-float64(k) {
+				k++
+			}
+			if k == 0 {
+				continue
+			}
+			a.pulse(base+j, k, target > 0)
+		}
+	}
+}
+
+// pulse applies k pulses to device idx (skipping stuck devices) and
+// refreshes the weight mirror.
+func (a *Array) pulse(idx, k int, up bool) {
+	if a.stuck[idx] {
+		return
+	}
+	a.dev[idx].Pulse(k, up, a.rng)
+	a.w.Data[idx] = a.dev[idx].Weight()
+	a.Counts.Pulses += int64(k)
+}
+
+// UpdateDeviceExact applies exactly k pulses in the given direction to
+// device (i, j) — the single-device programming path used by
+// mixed-precision trainers, where the digital controller addresses one
+// crosspoint at a time.
+func (a *Array) UpdateDeviceExact(i, j, k int, up bool) {
+	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
+		panic(fmt.Sprintf("crossbar: UpdateDeviceExact index (%d,%d) out of %dx%d", i, j, a.rows, a.cols))
+	}
+	a.pulse(i*a.cols+j, k, up)
+}
+
+// PulseAll applies n identical pulses to every (non-stuck) device — the
+// "all-ones" parallel pulsing used for symmetry-point programming and for
+// the Fig. 2 potentiation/depression traces.
+func (a *Array) PulseAll(n int, up bool) {
+	for idx := range a.dev {
+		a.pulse(idx, n, up)
+	}
+}
+
+// AlternatePulseAll applies iters alternating (up, down) pulse pairs to
+// every device, driving each toward its symmetry point — the zero-shifting
+// programming step of §II-B.5.
+func (a *Array) AlternatePulseAll(iters int) {
+	for it := 0; it < iters; it++ {
+		a.PulseAll(1, true)
+		a.PulseAll(1, false)
+	}
+}
+
+// AdvanceTime applies dt seconds of drift/relaxation to every device that
+// models it, then refreshes the weight mirror.
+func (a *Array) AdvanceTime(dt float64) {
+	for idx, d := range a.dev {
+		if dr, ok := d.(Drifter); ok {
+			dr.Drift(dt)
+			a.w.Data[idx] = d.Weight()
+		}
+	}
+}
+
+// ResetAll invokes the refresh operation on every resettable device (e.g.
+// the PCM pair's difference-preserving reset) and refreshes the mirror.
+func (a *Array) ResetAll() {
+	for idx, d := range a.dev {
+		if r, ok := d.(Resetter); ok {
+			r.Reset()
+			a.w.Data[idx] = d.Weight()
+		}
+	}
+}
+
+// MaxSaturation reports the worst per-leg saturation across PCM pairs
+// (0 for arrays of other device types); trainers reset when it nears 1.
+func (a *Array) MaxSaturation() float64 {
+	var worst float64
+	for _, d := range a.dev {
+		if p, ok := d.(*pcmPair); ok {
+			if s := p.Saturation(); s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+// StuckCount reports the number of non-yielding devices.
+func (a *Array) StuckCount() int {
+	n := 0
+	for _, s := range a.stuck {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// Program drives every device toward the corresponding target weight with
+// up/down pulses (closed-loop write-verify, maxPulses per device). It is
+// used to load externally trained weights for inference experiments.
+func (a *Array) Program(target *tensor.Matrix, maxPulses int) {
+	if target.Rows != a.rows || target.Cols != a.cols {
+		panic("crossbar: Program shape mismatch")
+	}
+	dw := a.model.MeanStep()
+	for idx, d := range a.dev {
+		if a.stuck[idx] {
+			continue
+		}
+		want := target.Data[idx]
+		for p := 0; p < maxPulses; p++ {
+			diff := want - d.Weight()
+			if math.Abs(diff) < dw {
+				break
+			}
+			d.Pulse(1, diff > 0, a.rng)
+		}
+		a.w.Data[idx] = d.Weight()
+	}
+}

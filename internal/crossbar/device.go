@@ -1,0 +1,245 @@
+// Package crossbar simulates analog resistive crossbar arrays — the
+// Resistive Processing Unit (RPU) substrate of §II of the paper. It models
+// the three array cycles of Fig. 1 (forward MVM, backward transposed MVM,
+// and the fully parallel stochastic-pulse rank-1 update) together with the
+// device non-idealities that drive the paper's discussion: bounded and
+// state-dependent conductance steps, update asymmetry, cycle-to-cycle and
+// device-to-device variability, stuck (non-yielding) crosspoints, PCM
+// unidirectionality and drift, FeFET endurance, and peripheral effects
+// (read noise, DAC/ADC quantization, IR-drop attenuation).
+//
+// The simulation methodology follows the paper's ref. [14] (Gokmen &
+// Vlasov): devices are behavioural — they expose how the weight changes per
+// voltage pulse — and training algorithms interact with them only through
+// pulse statistics, never through direct weight writes.
+package crossbar
+
+import (
+	"math"
+
+	"repro/internal/rngutil"
+)
+
+// Device is the state of a single crosspoint element in normalized weight
+// units. Implementations capture the update physics of a device technology.
+type Device interface {
+	// Weight returns the current stored weight (the device's signed,
+	// normalized conductance contribution).
+	Weight() float64
+	// Pulse applies n potentiation (up=true) or depression (up=false)
+	// voltage pulses, mutating the stored weight per the device physics.
+	Pulse(n int, up bool, rng *rngutil.Source)
+}
+
+// Drifter is implemented by devices whose conductance decays with time
+// (e.g. PCM resistance drift, ECRAM open-circuit relaxation).
+type Drifter interface {
+	// Drift advances device time by dt seconds.
+	Drift(dt float64)
+}
+
+// Resetter is implemented by devices that support an occasional
+// refresh/reset operation (e.g. the PCM differential pair's simultaneous
+// reset that preserves the weight difference, §II-B.1).
+type Resetter interface {
+	Reset()
+}
+
+// Model builds fresh devices and documents nominal array-level properties.
+type Model interface {
+	// Name identifies the technology, e.g. "rram-softbounds".
+	Name() string
+	// New returns a fresh device with device-to-device variation applied.
+	New(rng *rngutil.Source) Device
+	// MeanStep is the nominal per-pulse |Δw| at w≈0; trainers use it to
+	// convert learning rates into pulse probabilities.
+	MeanStep() float64
+	// WeightBounds reports the representable weight range.
+	WeightBounds() (lo, hi float64)
+}
+
+// ---------------------------------------------------------------------------
+// Ideal / linear-step device
+// ---------------------------------------------------------------------------
+
+// LinearStepParams parameterizes a device with a state-independent step.
+// Asymmetry a scales potentiation steps by (1+a) and depression steps by
+// (1-a); the paper's RPU spec (§II-A) requires |a| within a few percent.
+type LinearStepParams struct {
+	DwMin      float64 // nominal per-pulse weight change
+	Asymmetry  float64 // up/down step imbalance in [-1, 1]
+	CycleNoise float64 // per-pulse multiplicative noise std (relative)
+	DeviceVar  float64 // device-to-device step-size variation std (relative)
+	WMin, WMax float64 // weight bounds
+}
+
+// LinearStepModel is a bidirectional device with constant (state-
+// independent) steps — the "ideal" reference when Asymmetry, CycleNoise and
+// DeviceVar are zero.
+type LinearStepModel struct {
+	P LinearStepParams
+}
+
+// Ideal returns a perfectly symmetric, noiseless device meeting the RPU
+// spec: per-pulse step equal to 0.1 % of the weight range.
+func Ideal() *LinearStepModel {
+	return &LinearStepModel{P: LinearStepParams{
+		DwMin: 0.002, WMin: -1, WMax: 1, // 0.002/2.0 = 0.1 % of range
+	}}
+}
+
+// Name implements Model.
+func (m *LinearStepModel) Name() string { return "linear-step" }
+
+// MeanStep implements Model.
+func (m *LinearStepModel) MeanStep() float64 { return m.P.DwMin }
+
+// WeightBounds implements Model.
+func (m *LinearStepModel) WeightBounds() (float64, float64) { return m.P.WMin, m.P.WMax }
+
+// New implements Model.
+func (m *LinearStepModel) New(rng *rngutil.Source) Device {
+	scale := 1.0
+	if m.P.DeviceVar > 0 {
+		scale = math.Max(0.05, rng.Normal(1, m.P.DeviceVar))
+	}
+	return &linearStepDevice{p: m.P, scale: scale}
+}
+
+type linearStepDevice struct {
+	p     LinearStepParams
+	scale float64
+	w     float64
+}
+
+func (d *linearStepDevice) Weight() float64 { return d.w }
+
+func (d *linearStepDevice) Pulse(n int, up bool, rng *rngutil.Source) {
+	for k := 0; k < n; k++ {
+		step := d.p.DwMin * d.scale
+		if up {
+			step *= 1 + d.p.Asymmetry
+		} else {
+			step *= 1 - d.p.Asymmetry
+		}
+		if d.p.CycleNoise > 0 {
+			step *= 1 + rng.Normal(0, d.p.CycleNoise)
+		}
+		if up {
+			d.w += step
+		} else {
+			d.w -= step
+		}
+		d.clip()
+	}
+}
+
+func (d *linearStepDevice) clip() {
+	if d.w < d.p.WMin {
+		d.w = d.p.WMin
+	} else if d.w > d.p.WMax {
+		d.w = d.p.WMax
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Soft-bounds (RRAM-like) device
+// ---------------------------------------------------------------------------
+
+// SoftBoundsParams parameterizes a device whose step size shrinks as the
+// weight approaches its bounds — the saturating, asymmetric behaviour that
+// filamentary RRAM exhibits (Fig. 2). The potentiation step at weight w is
+// SlopeUp·(WMax−w) and the depression step is SlopeDown·(w−WMin); both decay
+// to zero at the respective bound, producing the exponential-looking
+// potentiation/depression envelopes of the figure.
+type SoftBoundsParams struct {
+	SlopeUp    float64 // potentiation gain per pulse
+	SlopeDown  float64 // depression gain per pulse
+	CycleNoise float64 // per-pulse multiplicative noise std (relative)
+	DeviceVar  float64 // device-to-device slope variation std (relative)
+	WMin, WMax float64
+}
+
+// SoftBoundsModel is the RRAM-like device model.
+type SoftBoundsModel struct {
+	P SoftBoundsParams
+}
+
+// RRAM returns a soft-bounds device with the qualitative characteristics
+// reported for analog filamentary RRAM (paper refs. [22], [30]): strongly
+// state-dependent steps, noticeable up/down imbalance, and per-pulse
+// stochasticity, with ~1000 resolvable states across the range.
+func RRAM() *SoftBoundsModel {
+	return &SoftBoundsModel{P: SoftBoundsParams{
+		SlopeUp:    0.004,
+		SlopeDown:  0.006, // aggressive asymmetry, §II-B.5
+		CycleNoise: 0.3,
+		DeviceVar:  0.2,
+		WMin:       -1, WMax: 1,
+	}}
+}
+
+// Name implements Model.
+func (m *SoftBoundsModel) Name() string { return "rram-softbounds" }
+
+// MeanStep implements Model.
+func (m *SoftBoundsModel) MeanStep() float64 {
+	// Nominal step at w=0.
+	return 0.5 * (m.P.SlopeUp*m.P.WMax + m.P.SlopeDown*(-m.P.WMin))
+}
+
+// WeightBounds implements Model.
+func (m *SoftBoundsModel) WeightBounds() (float64, float64) { return m.P.WMin, m.P.WMax }
+
+// New implements Model.
+func (m *SoftBoundsModel) New(rng *rngutil.Source) Device {
+	d := &softBoundsDevice{p: m.P, up: 1, down: 1}
+	if m.P.DeviceVar > 0 {
+		d.up = math.Max(0.05, rng.Normal(1, m.P.DeviceVar))
+		d.down = math.Max(0.05, rng.Normal(1, m.P.DeviceVar))
+	}
+	return d
+}
+
+// SymmetryPoint returns the weight at which mean potentiation and
+// depression steps balance — the fixed point reached under alternating
+// up/down pulsing, used by the zero-shifting technique (§II-B.5).
+func (m *SoftBoundsModel) SymmetryPoint() float64 {
+	// SlopeUp·(WMax−w*) = SlopeDown·(w*−WMin)
+	return (m.P.SlopeUp*m.P.WMax + m.P.SlopeDown*m.P.WMin) / (m.P.SlopeUp + m.P.SlopeDown)
+}
+
+type softBoundsDevice struct {
+	p        SoftBoundsParams
+	up, down float64 // per-device slope scale factors
+	w        float64
+}
+
+func (d *softBoundsDevice) Weight() float64 { return d.w }
+
+func (d *softBoundsDevice) Pulse(n int, up bool, rng *rngutil.Source) {
+	for k := 0; k < n; k++ {
+		var step float64
+		if up {
+			step = d.p.SlopeUp * d.up * (d.p.WMax - d.w)
+		} else {
+			step = d.p.SlopeDown * d.down * (d.w - d.p.WMin)
+		}
+		if step < 0 {
+			step = 0
+		}
+		if d.p.CycleNoise > 0 {
+			step *= 1 + rng.Normal(0, d.p.CycleNoise)
+		}
+		if up {
+			d.w += step
+		} else {
+			d.w -= step
+		}
+		if d.w < d.p.WMin {
+			d.w = d.p.WMin
+		} else if d.w > d.p.WMax {
+			d.w = d.p.WMax
+		}
+	}
+}

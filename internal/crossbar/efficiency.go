@@ -1,0 +1,45 @@
+package crossbar
+
+// InferenceEnergyModel projects the energy efficiency of crossbar MVM
+// inference as a function of device resistance (§II-B.1): at low device
+// resistance the array's static read power dominates (V²/R per device), so
+// raising the base resistance deep into the MΩ range shifts the bill to
+// the converters and pushes efficiency toward the paper's projected
+// 172–250 TOP/s/W for 14 nm-class accelerators at up to 100 MΩ.
+type InferenceEnergyModel struct {
+	ReadVoltage float64 // volts applied to each row during an MVM
+	PulseWidth  float64 // seconds the read inputs are held
+	ADCEnergy   float64 // joules per output sample conversion
+	DACEnergy   float64 // joules per input drive
+	StaticPerOp float64 // joules of control/buffer overhead per MVM
+}
+
+// DefaultInferenceEnergy returns 14 nm-class periphery constants calibrated
+// so that a 256×256 array at 100 MΩ base resistance lands in the paper's
+// 172–250 TOP/s/W band.
+func DefaultInferenceEnergy() InferenceEnergyModel {
+	return InferenceEnergyModel{
+		ReadVoltage: 0.2,
+		PulseWidth:  100e-9,
+		ADCEnergy:   1.5e-12,
+		DACEnergy:   0.5e-12,
+		StaticPerOp: 20e-12,
+	}
+}
+
+// MVMEnergy returns the energy of one rows×cols analog MVM with devices of
+// the given average resistance (ohms).
+func (m InferenceEnergyModel) MVMEnergy(rows, cols int, resistance float64) float64 {
+	devices := float64(rows) * float64(cols)
+	array := devices * m.ReadVoltage * m.ReadVoltage / resistance * m.PulseWidth
+	periphery := float64(rows)*m.ADCEnergy + float64(cols)*m.DACEnergy
+	return array + periphery + m.StaticPerOp
+}
+
+// TOPSPerWatt returns the inference efficiency (tera-operations per second
+// per watt, counting one multiply and one add per crosspoint) at the given
+// device resistance.
+func (m InferenceEnergyModel) TOPSPerWatt(rows, cols int, resistance float64) float64 {
+	ops := 2 * float64(rows) * float64(cols)
+	return ops / m.MVMEnergy(rows, cols, resistance) / 1e12
+}

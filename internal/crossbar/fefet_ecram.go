@@ -1,0 +1,145 @@
+package crossbar
+
+import (
+	"math"
+
+	"repro/internal/rngutil"
+)
+
+// FeFETParams parameterizes a ferroelectric-FET synapse (§II-B.3):
+// soft-bounds switching (partial-domain polarization), moderate asymmetry,
+// and — its distinguishing limitation — finite endurance: after Endurance
+// update pulses the gate stack degrades and the device freezes in place.
+type FeFETParams struct {
+	Soft      SoftBoundsParams
+	Endurance int64 // total pulses before the device stops responding
+}
+
+// FeFETModel builds FeFET devices.
+type FeFETModel struct {
+	P FeFETParams
+}
+
+// FeFET returns a device with published-like FeFET behaviour: faster,
+// lower-voltage writes than Flash (modelled by a larger step), asymmetric
+// updates, and 10⁶-class endurance (§II-B.3 cites 10⁶–10⁹).
+func FeFET() *FeFETModel {
+	return &FeFETModel{P: FeFETParams{
+		Soft: SoftBoundsParams{
+			SlopeUp:    0.005,
+			SlopeDown:  0.008,
+			CycleNoise: 0.2,
+			DeviceVar:  0.15,
+			WMin:       -1, WMax: 1,
+		},
+		Endurance: 1_000_000,
+	}}
+}
+
+// Name implements Model.
+func (m *FeFETModel) Name() string { return "fefet" }
+
+// MeanStep implements Model.
+func (m *FeFETModel) MeanStep() float64 {
+	return 0.5 * (m.P.Soft.SlopeUp*m.P.Soft.WMax + m.P.Soft.SlopeDown*(-m.P.Soft.WMin))
+}
+
+// WeightBounds implements Model.
+func (m *FeFETModel) WeightBounds() (float64, float64) { return m.P.Soft.WMin, m.P.Soft.WMax }
+
+// New implements Model.
+func (m *FeFETModel) New(rng *rngutil.Source) Device {
+	inner := (&SoftBoundsModel{P: m.P.Soft}).New(rng).(*softBoundsDevice)
+	return &fefetDevice{soft: inner, endurance: m.P.Endurance}
+}
+
+type fefetDevice struct {
+	soft      *softBoundsDevice
+	pulses    int64
+	endurance int64
+}
+
+func (d *fefetDevice) Weight() float64 { return d.soft.Weight() }
+
+func (d *fefetDevice) Pulse(n int, up bool, rng *rngutil.Source) {
+	if d.pulses >= d.endurance {
+		return // worn out: stuck at current state
+	}
+	remaining := d.endurance - d.pulses
+	if int64(n) > remaining {
+		n = int(remaining)
+	}
+	d.pulses += int64(n)
+	d.soft.Pulse(n, up, rng)
+}
+
+// WornOut reports whether the device has exhausted its endurance.
+func (d *fefetDevice) WornOut() bool { return d.pulses >= d.endurance }
+
+// ECRAMParams parameterizes an electrochemical RAM device (§II-B.4): the
+// intrinsically analog, battery-like synapse with highly symmetric, nearly
+// linear updates (~1000 steps), excellent SNR, but a nonzero open-circuit
+// potential that relaxes the state toward a rest level over time.
+type ECRAMParams struct {
+	Linear    LinearStepParams
+	RestLevel float64 // open-circuit equilibrium weight
+	TauRelax  float64 // relaxation time constant in seconds (0 = none)
+}
+
+// ECRAMModel builds ECRAM devices.
+type ECRAMModel struct {
+	P ECRAMParams
+}
+
+// ECRAM returns a device with demonstrated ECRAM characteristics
+// (paper ref. [42]): ~1000 symmetric up/down steps across the range and an
+// order of magnitude lower cycle noise than RRAM, plus slow open-circuit
+// relaxation representing the retention issue of §II-B.4.
+func ECRAM() *ECRAMModel {
+	return &ECRAMModel{P: ECRAMParams{
+		Linear: LinearStepParams{
+			DwMin:      0.002, // 1000 steps over [-1, 1]
+			Asymmetry:  0.01,
+			CycleNoise: 0.03,
+			DeviceVar:  0.05,
+			WMin:       -1, WMax: 1,
+		},
+		RestLevel: 0,
+		TauRelax:  3600, // seconds
+	}}
+}
+
+// Name implements Model.
+func (m *ECRAMModel) Name() string { return "ecram" }
+
+// MeanStep implements Model.
+func (m *ECRAMModel) MeanStep() float64 { return m.P.Linear.DwMin }
+
+// WeightBounds implements Model.
+func (m *ECRAMModel) WeightBounds() (float64, float64) {
+	return m.P.Linear.WMin, m.P.Linear.WMax
+}
+
+// New implements Model.
+func (m *ECRAMModel) New(rng *rngutil.Source) Device {
+	inner := (&LinearStepModel{P: m.P.Linear}).New(rng).(*linearStepDevice)
+	return &ecramDevice{lin: inner, p: m.P}
+}
+
+type ecramDevice struct {
+	lin *linearStepDevice
+	p   ECRAMParams
+}
+
+func (d *ecramDevice) Weight() float64 { return d.lin.Weight() }
+
+func (d *ecramDevice) Pulse(n int, up bool, rng *rngutil.Source) { d.lin.Pulse(n, up, rng) }
+
+// Drift implements Drifter: exponential relaxation toward the rest level.
+func (d *ecramDevice) Drift(dt float64) {
+	if d.p.TauRelax <= 0 {
+		return
+	}
+	f := math.Exp(-dt / d.p.TauRelax)
+	d.lin.w = d.p.RestLevel + (d.lin.w-d.p.RestLevel)*f
+}

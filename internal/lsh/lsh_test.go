@@ -1,0 +1,153 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+func TestSignatureSelfDistanceZero(t *testing.T) {
+	rng := rngutil.New(1)
+	h := NewHasher(16, 64, rng)
+	v := make(tensor.Vector, 16)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	s := h.Sign(v)
+	if Hamming(s, s) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	// Signing the same vector twice must be deterministic.
+	s2 := h.Sign(v)
+	if Hamming(s, s2) != 0 {
+		t.Fatal("hashing must be deterministic")
+	}
+}
+
+func TestHammingSymmetricAndBounded(t *testing.T) {
+	rng := rngutil.New(2)
+	h := NewHasher(8, 100, rng)
+	a := h.Sign(randVec(rng, 8))
+	b := h.Sign(randVec(rng, 8))
+	if Hamming(a, b) != Hamming(b, a) {
+		t.Fatal("Hamming must be symmetric")
+	}
+	if d := Hamming(a, b); d < 0 || d > 100 {
+		t.Fatalf("distance %d out of [0,100]", d)
+	}
+}
+
+func TestHammingMismatchPanics(t *testing.T) {
+	rng := rngutil.New(3)
+	a := NewHasher(4, 32, rng).Sign(randVec(rng, 4))
+	b := NewHasher(4, 64, rng).Sign(randVec(rng, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Hamming(a, b)
+}
+
+func randVec(rng *rngutil.Source, n int) tensor.Vector {
+	v := make(tensor.Vector, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// The LSH property: E[Hamming(sig(a), sig(b))] / bits = angle(a,b)/π.
+// Verify monotonicity and approximate calibration at 3 angles.
+func TestCollisionProbabilityTracksAngle(t *testing.T) {
+	rng := rngutil.New(4)
+	const bits = 2048
+	h := NewHasher(2, bits, rng)
+	angles := []float64{0.1, math.Pi / 4, math.Pi / 2}
+	prev := -1.0
+	for _, th := range angles {
+		a := tensor.Vector{1, 0}
+		b := tensor.Vector{math.Cos(th), math.Sin(th)}
+		frac := float64(Hamming(h.Sign(a), h.Sign(b))) / bits
+		want := th / math.Pi
+		if math.Abs(frac-want) > 0.05 {
+			t.Errorf("angle %v: hamming frac %v, want %v", th, frac, want)
+		}
+		if frac <= prev {
+			t.Errorf("hamming fraction must grow with angle")
+		}
+		prev = frac
+	}
+}
+
+func TestAntipodalVectorsMaxDistance(t *testing.T) {
+	rng := rngutil.New(5)
+	h := NewHasher(4, 256, rng)
+	v := randVec(rng, 4)
+	neg := v.Clone()
+	neg.Scale(-1)
+	d := Hamming(h.Sign(v), h.Sign(neg))
+	// Sign boundary handling (>= 0) can keep a few bits equal only when a
+	// projection is exactly zero, which has measure zero here.
+	if d != 256 {
+		t.Fatalf("antipodal distance %d, want 256", d)
+	}
+}
+
+func TestGetBit(t *testing.T) {
+	rng := rngutil.New(6)
+	h := NewHasher(3, 70, rng) // spans two words
+	s := h.Sign(tensor.Vector{1, 2, 3})
+	count := 0
+	for i := 0; i < s.Bits; i++ {
+		if s.Get(i) {
+			count++
+		}
+	}
+	// Cross-check popcount path with bit-by-bit path using an empty sig.
+	zero := Signature{Bits: 70, Words: make([]uint64, 2)}
+	if Hamming(s, zero) != count {
+		t.Fatalf("bit count mismatch: %d vs %d", Hamming(s, zero), count)
+	}
+}
+
+func TestMACsPerSignature(t *testing.T) {
+	h := NewHasher(64, 128, rngutil.New(7))
+	if h.MACsPerSignature() != 64*128 {
+		t.Fatalf("MACs = %d", h.MACsPerSignature())
+	}
+	if h.NumPlanes() != 128 {
+		t.Fatalf("NumPlanes = %d", h.NumPlanes())
+	}
+}
+
+func TestInputDimPanics(t *testing.T) {
+	h := NewHasher(4, 8, rngutil.New(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Sign(tensor.Vector{1, 2})
+}
+
+// Same-class vectors (small perturbations) must land closer in Hamming
+// space than random other vectors — the property that makes TCAM retrieval
+// work (§IV-B.2).
+func TestLocalitySensitivity(t *testing.T) {
+	rng := rngutil.New(9)
+	h := NewHasher(32, 256, rng)
+	base := randVec(rng, 32)
+	near := base.Clone()
+	for i := range near {
+		near[i] += rng.Normal(0, 0.1)
+	}
+	far := randVec(rng, 32)
+	dNear := Hamming(h.Sign(base), h.Sign(near))
+	dFar := Hamming(h.Sign(base), h.Sign(far))
+	if dNear >= dFar {
+		t.Fatalf("near %d should beat far %d", dNear, dFar)
+	}
+}

@@ -1,0 +1,172 @@
+package mann
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MemOps counts differentiable-memory operations, the quantities X-MANN
+// maps onto crossbar hardware (§III): every op also records its digital
+// MAC-equivalent cost, which is what a CPU/GPU pays.
+type MemOps struct {
+	Similarities int64 // full-memory similarity sweeps
+	SoftReads    int64
+	SoftWrites   int64
+	MACs         int64 // digital multiply-accumulate equivalents
+}
+
+// NTMMemory is the N×W differentiable memory matrix of a Neural Turing
+// Machine (paper refs. [3], [8]) with the standard addressing pipeline:
+// content similarity → sharpen (β) → interpolation gate → convolutional
+// shift → sharpening (γ), and soft read / erase-add write heads. All
+// operations touch every memory location — the property that makes the
+// memory the performance and energy bottleneck on conventional hardware.
+type NTMMemory struct {
+	N, W int
+	M    *tensor.Matrix
+	Ops  MemOps
+}
+
+// NewNTMMemory returns an all-small-constant memory (the usual NTM init).
+func NewNTMMemory(n, w int) *NTMMemory {
+	m := &NTMMemory{N: n, W: w, M: tensor.NewMatrix(n, w)}
+	m.M.Fill(1e-6)
+	return m
+}
+
+// HeadParams are the addressing parameters a controller emits per head per
+// time step.
+type HeadParams struct {
+	Key   tensor.Vector // content key, length W
+	Beta  float64       // content sharpening ≥ 0
+	Gate  float64       // ∈[0,1]: 1 = content addressing, 0 = previous weights
+	Shift tensor.Vector // distribution over shifts {-1, 0, +1}
+	Gamma float64       // final sharpening ≥ 1
+}
+
+// ContentWeights returns softmax(β · cosine(key, M_i)) over all rows — one
+// full-memory similarity sweep.
+func (m *NTMMemory) ContentWeights(key tensor.Vector, beta float64) tensor.Vector {
+	if len(key) != m.W {
+		panic(fmt.Sprintf("mann: key width %d, memory width %d", len(key), m.W))
+	}
+	sims := make(tensor.Vector, m.N)
+	for i := 0; i < m.N; i++ {
+		sims[i] = tensor.CosineSimilarity(key, m.M.Row(i))
+	}
+	m.Ops.Similarities++
+	m.Ops.MACs += int64(m.N) * int64(m.W)
+	return tensor.SoftmaxT(sims, beta)
+}
+
+// Address runs the full NTM addressing pipeline given the previous weights.
+func (m *NTMMemory) Address(p HeadParams, prev tensor.Vector) tensor.Vector {
+	wc := m.ContentWeights(p.Key, p.Beta)
+	// Interpolation.
+	wg := make(tensor.Vector, m.N)
+	for i := range wg {
+		wg[i] = p.Gate*wc[i] + (1-p.Gate)*prev[i]
+	}
+	// Circular convolutional shift with kernel over {-1, 0, +1}.
+	ws := make(tensor.Vector, m.N)
+	for i := range ws {
+		for s, p2 := range p.Shift {
+			offset := s - 1 // shift amount
+			src := ((i-offset)%m.N + m.N) % m.N
+			ws[i] += wg[src] * p2
+		}
+	}
+	// Sharpen.
+	if p.Gamma != 1 {
+		var sum float64
+		for i := range ws {
+			ws[i] = math.Pow(math.Max(ws[i], 0), p.Gamma)
+			sum += ws[i]
+		}
+		if sum > 0 {
+			ws.Scale(1 / sum)
+		}
+	}
+	return ws
+}
+
+// Read performs the soft read r = wᵀM — every location contributes in
+// proportion to its weight.
+func (m *NTMMemory) Read(w tensor.Vector) tensor.Vector {
+	if len(w) != m.N {
+		panic(fmt.Sprintf("mann: weight length %d, memory rows %d", len(w), m.N))
+	}
+	m.Ops.SoftReads++
+	m.Ops.MACs += int64(m.N) * int64(m.W)
+	return m.M.MatVecT(w)
+}
+
+// Write performs the soft write: M ← M ∘ (1 − w⊗erase) + w⊗add.
+func (m *NTMMemory) Write(w, erase, add tensor.Vector) {
+	if len(w) != m.N || len(erase) != m.W || len(add) != m.W {
+		panic("mann: write shape mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		row := m.M.Row(i)
+		wi := w[i]
+		if wi == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] = row[j]*(1-wi*erase[j]) + wi*add[j]
+		}
+	}
+	m.Ops.SoftWrites++
+	m.Ops.MACs += 2 * int64(m.N) * int64(m.W)
+}
+
+// OneHot returns a weight vector focused entirely on row i.
+func (m *NTMMemory) OneHot(i int) tensor.Vector {
+	w := tensor.NewVector(m.N)
+	w[i%m.N] = 1
+	return w
+}
+
+// CopyMachine wires an NTMMemory into the classic copy task: the sequence
+// is written to consecutive locations via shift-based addressing, then read
+// back. It demonstrates (and tests) the full soft read/write mechanics with
+// an exactly checkable result.
+type CopyMachine struct {
+	Mem *NTMMemory
+}
+
+// NewCopyMachine builds a machine able to store sequences up to n vectors
+// of width w.
+func NewCopyMachine(n, w int) *CopyMachine {
+	return &CopyMachine{Mem: NewNTMMemory(n, w)}
+}
+
+// Run stores the sequence then recalls it, returning the recalled vectors.
+func (c *CopyMachine) Run(seq []tensor.Vector) []tensor.Vector {
+	if len(seq) > c.Mem.N {
+		panic("mann: sequence longer than memory")
+	}
+	ones := tensor.NewVector(c.Mem.W)
+	ones.Fill(1)
+	// Write phase: location-based addressing marching forward.
+	w := c.Mem.OneHot(0)
+	shiftFwd := tensor.Vector{0, 0, 1} // shift +1
+	for t, x := range seq {
+		c.Mem.Write(w, ones, x)
+		if t < len(seq)-1 {
+			w = c.Mem.Address(HeadParams{Key: x, Beta: 0, Gate: 0, Shift: shiftFwd, Gamma: 1}, w)
+		}
+	}
+	// Read phase: rewind to location 0 and march again.
+	w = c.Mem.OneHot(0)
+	out := make([]tensor.Vector, len(seq))
+	for t := range seq {
+		out[t] = c.Mem.Read(w)
+		if t < len(seq)-1 {
+			w = c.Mem.Address(HeadParams{Key: out[t], Beta: 0, Gate: 0, Shift: shiftFwd, Gamma: 1}, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rngutil"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 8 sets
+	if c.CapacityBytes() != 1024 {
+		t.Fatalf("capacity = %d", c.CapacityBytes())
+	}
+	if c.Access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0) {
+		t.Fatal("repeat access must hit")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access must hit")
+	}
+	if c.Access(64) {
+		t.Fatal("next line must miss")
+	}
+	if c.Stats.Accesses != 4 || c.Stats.Hits != 2 || c.Stats.Misses != 2 {
+		t.Fatalf("stats wrong: %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2*64, 2, 64) // 1 set, 2 ways
+	c.Access(0)                // A
+	c.Access(64)               // B
+	c.Access(0)                // hit A, making B the LRU
+	c.Access(128)              // C evicts B
+	if !c.Access(0) {
+		t.Fatal("A should survive")
+	}
+	if c.Access(64) {
+		t.Fatal("B should have been evicted")
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	c.Access(0)
+	c.Reset()
+	if c.Stats.Accesses != 0 {
+		t.Fatal("stats should reset")
+	}
+	if c.Access(0) {
+		t.Fatal("contents should reset")
+	}
+}
+
+func TestCacheParamValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCache(0, 1, 64) },
+		func() { NewCache(100, 2, 64) },  // not divisible
+		func() { NewCache(3*64, 1, 64) }, // 3 sets: not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: hit rate always lies in [0,1] and hits+misses == accesses.
+func TestCacheStatsInvariant(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		c := NewCache(512, 2, 32)
+		rng := rngutil.New(uint64(seed))
+		for i := 0; i < int(n); i++ {
+			c.Access(uint64(rng.Intn(4096)))
+		}
+		s := c.Stats
+		if s.Hits+s.Misses != s.Accesses {
+			return false
+		}
+		hr := s.HitRate()
+		return hr >= 0 && hr <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheWorkingSetBehaviour(t *testing.T) {
+	// A working set that fits must converge to ~100 % hits; one that
+	// thrashes a direct-mapped-style pattern must not.
+	c := NewCache(4096, 4, 64)
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < 4096; a += 64 {
+			c.Access(a)
+		}
+	}
+	if hr := c.Stats.HitRate(); hr < 0.7 {
+		t.Fatalf("resident working set hit rate %v too low", hr)
+	}
+	c.Reset()
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < 1<<20; a += 64 {
+			c.Access(a)
+		}
+	}
+	if hr := c.Stats.HitRate(); hr > 0.01 {
+		t.Fatalf("streaming working set hit rate %v should be ~0", hr)
+	}
+}
+
+func TestDRAMStream(t *testing.T) {
+	d := DefaultDRAM()
+	c := d.Stream(1 << 20)
+	wantLat := d.AccessLatency + float64(1<<20)/d.Bandwidth
+	if c.Latency != wantLat {
+		t.Errorf("latency = %v, want %v", c.Latency, wantLat)
+	}
+	if c.Energy != float64(1<<20)*d.EnergyPerByte {
+		t.Errorf("energy = %v", c.Energy)
+	}
+}
+
+func TestDRAMRandomAccessesMLP(t *testing.T) {
+	d := DefaultDRAM()
+	serial := d.RandomAccesses(1000, 64, 1)
+	overlapped := d.RandomAccesses(1000, 64, 16)
+	if overlapped.Latency >= serial.Latency {
+		t.Fatal("memory-level parallelism must reduce latency")
+	}
+	if overlapped.Energy != serial.Energy {
+		t.Fatal("parallelism must not change energy")
+	}
+}
+
+func TestHierarchySimLocalityMatters(t *testing.T) {
+	dram := DefaultDRAM()
+	sim := &HierarchySim{
+		Cache:      NewCache(8192, 4, 64),
+		DRAM:       dram,
+		HitEnergy:  1e-12,
+		HitLatency: 1e-9,
+		MLP:        8,
+	}
+	// Hot trace: repeatedly touch a small region.
+	hot := make([]uint64, 4000)
+	rng := rngutil.New(1)
+	for i := range hot {
+		hot[i] = uint64(rng.Intn(4096))
+	}
+	hotCost, hotHR := sim.Replay(hot)
+
+	sim.Cache.Reset()
+	// Cold trace: uniform over a space much larger than the cache.
+	cold := make([]uint64, 4000)
+	for i := range cold {
+		cold[i] = uint64(rng.Intn(1 << 26))
+	}
+	coldCost, coldHR := sim.Replay(cold)
+
+	if hotHR <= coldHR {
+		t.Fatalf("hot hit rate %v should beat cold %v", hotHR, coldHR)
+	}
+	if hotCost.Energy >= coldCost.Energy {
+		t.Fatalf("hot energy %v should be below cold %v", hotCost.Energy, coldCost.Energy)
+	}
+	if hotCost.Latency >= coldCost.Latency {
+		t.Fatalf("hot latency %v should be below cold %v", hotCost.Latency, coldCost.Latency)
+	}
+}

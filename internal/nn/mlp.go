@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// DenseLayer is one fully connected layer y = act(W·[x;1]).
+//
+// The bias is folded into the weight matrix as an extra input column driven
+// by a constant 1, mirroring how analog crossbars implement biases with a
+// dedicated always-on input line. W therefore has shape out × (in+1) when
+// Bias is true.
+type DenseLayer struct {
+	In, Out int
+	Bias    bool
+	Act     Activation
+	W       Mat
+
+	// caches from the most recent Forward, used by Backward.
+	x tensor.Vector // extended input [x;1]
+	z tensor.Vector // pre-activation
+	y tensor.Vector // activation
+}
+
+// MatFactory constructs the weight storage for a layer; it lets callers swap
+// dense digital matrices for simulated analog arrays.
+type MatFactory func(rows, cols int) Mat
+
+// DenseFactory builds exact digital matrices with Xavier initialization.
+func DenseFactory(rng *rngutil.Source) MatFactory {
+	return func(rows, cols int) Mat {
+		d := NewDenseMat(rows, cols)
+		InitXavier(d.M, rng.Child(fmt.Sprintf("xavier-%dx%d", rows, cols)))
+		return d
+	}
+}
+
+// NewDenseLayer builds a layer with weights from factory.
+func NewDenseLayer(in, out int, act Activation, bias bool, factory MatFactory) *DenseLayer {
+	cols := in
+	if bias {
+		cols++
+	}
+	return &DenseLayer{In: in, Out: out, Bias: bias, Act: act, W: factory(out, cols)}
+}
+
+// extend returns [x;1] when the layer has a bias, else x itself.
+func (l *DenseLayer) extend(x tensor.Vector) tensor.Vector {
+	if !l.Bias {
+		return x
+	}
+	ext := make(tensor.Vector, len(x)+1)
+	copy(ext, x)
+	ext[len(x)] = 1
+	return ext
+}
+
+// Forward runs the layer and caches intermediates for Backward.
+func (l *DenseLayer) Forward(x tensor.Vector) tensor.Vector {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: layer expects %d inputs, got %d", l.In, len(x)))
+	}
+	l.x = l.extend(x)
+	l.z = l.W.Forward(l.x)
+	l.y = l.Act.apply(l.z)
+	return l.y
+}
+
+// Backward consumes dL/dy and returns dL/dx for the layer below, applying
+// the weight update W += -lr·(δ ⊗ x) in the same pass (lr == 0 skips the
+// update, e.g. for inference-only sensitivity analysis).
+func (l *DenseLayer) Backward(dy tensor.Vector, lr float64) tensor.Vector {
+	if l.x == nil {
+		panic("nn: Backward called before Forward")
+	}
+	prime := l.Act.prime(l.z, l.y)
+	delta := tensor.Hadamard(dy, prime)
+	// dL/dx before the bias column is stripped.
+	dxExt := l.W.Backward(delta)
+	if lr != 0 {
+		l.W.Update(-lr, delta, l.x)
+	}
+	if l.Bias {
+		return dxExt[:l.In]
+	}
+	return dxExt
+}
+
+// MLP is a feedforward stack of dense layers.
+type MLP struct {
+	Layers []*DenseLayer
+}
+
+// NewMLP builds an MLP with the given layer sizes (sizes[0] inputs through
+// sizes[len-1] outputs). Hidden layers use hiddenAct; the final layer uses
+// outAct. All layers carry biases.
+func NewMLP(sizes []int, hiddenAct, outAct Activation, factory MatFactory) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hiddenAct
+		if i+2 == len(sizes) {
+			act = outAct
+		}
+		m.Layers = append(m.Layers, NewDenseLayer(sizes[i], sizes[i+1], act, true, factory))
+	}
+	return m
+}
+
+// Forward runs the full stack.
+func (m *MLP) Forward(x tensor.Vector) tensor.Vector {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dL/dy_out down the stack, updating every layer with
+// learning rate lr, and returns dL/dx_in.
+func (m *MLP) Backward(dy tensor.Vector, lr float64) tensor.Vector {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy, lr)
+	}
+	return dy
+}
+
+// TrainStep performs one softmax-cross-entropy SGD step on (x, label) and
+// returns the loss before the update. The final layer must use SoftmaxAct.
+func (m *MLP) TrainStep(x tensor.Vector, label int, lr float64) float64 {
+	probs := m.Forward(x)
+	loss := CrossEntropy(probs, label)
+	// d(CE∘softmax)/dz = p - onehot; the softmax layer's prime is identity.
+	dy := probs.Clone()
+	dy[label] -= 1
+	m.Backward(dy, lr)
+	return loss
+}
+
+// Predict returns the argmax class for x.
+func (m *MLP) Predict(x tensor.Vector) int { return m.Forward(x).ArgMax() }
+
+// Accuracy evaluates classification accuracy over a set of examples.
+func (m *MLP) Accuracy(xs []tensor.Vector, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// ParamCount reports the total number of weights (including biases).
+func (m *MLP) ParamCount() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += l.W.Rows() * l.W.Cols()
+	}
+	return n
+}

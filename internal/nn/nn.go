@@ -1,0 +1,143 @@
+// Package nn is the digital neural-network substrate: fully connected
+// networks with backpropagation, an LSTM cell with BPTT, small 2-D
+// convolution/pooling layers, and the loss functions used across the
+// repository.
+//
+// The package defines the Mat interface — the contract between a network and
+// the thing that stores its weight matrix. A Mat can be a plain dense
+// float64 matrix (this package) or a simulated analog crossbar array
+// (package crossbar). Networks express forward, backward, and rank-1 update
+// passes only through this interface, which is exactly the structure of the
+// three RPU cycles in Fig. 1 of the paper: the same network code trains on
+// ideal digital weights and on non-ideal analog devices.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// Mat is a weight matrix supporting the three crossbar cycles: forward MVM,
+// transposed (backward) MVM, and a rank-1 outer-product update.
+type Mat interface {
+	// Rows and Cols report the matrix shape (output × input).
+	Rows() int
+	Cols() int
+	// Forward returns W·x.
+	Forward(x tensor.Vector) tensor.Vector
+	// Backward returns Wᵀ·d.
+	Backward(d tensor.Vector) tensor.Vector
+	// Update applies W += scale·(u ⊗ v) (in expectation, for stochastic
+	// implementations). u has Rows elements, v has Cols elements.
+	Update(scale float64, u, v tensor.Vector)
+}
+
+// DenseMat is the ideal digital Mat: an exact float64 matrix.
+type DenseMat struct {
+	M *tensor.Matrix
+}
+
+// NewDenseMat returns a zero-initialized rows×cols dense Mat.
+func NewDenseMat(rows, cols int) *DenseMat {
+	return &DenseMat{M: tensor.NewMatrix(rows, cols)}
+}
+
+// Rows implements Mat.
+func (d *DenseMat) Rows() int { return d.M.Rows }
+
+// Cols implements Mat.
+func (d *DenseMat) Cols() int { return d.M.Cols }
+
+// Forward implements Mat.
+func (d *DenseMat) Forward(x tensor.Vector) tensor.Vector { return d.M.MatVec(x) }
+
+// Backward implements Mat.
+func (d *DenseMat) Backward(dd tensor.Vector) tensor.Vector { return d.M.MatVecT(dd) }
+
+// Update implements Mat.
+func (d *DenseMat) Update(scale float64, u, v tensor.Vector) { d.M.AddOuter(scale, u, v) }
+
+// InitXavier fills m with Xavier/Glorot-uniform weights using rng.
+func InitXavier(m *tensor.Matrix, rng *rngutil.Source) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = rng.Uniform(-limit, limit)
+	}
+}
+
+// Activation identifies an element-wise nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	TanhAct
+	SigmoidAct
+	ReLUAct
+	SoftmaxAct // only valid as the output activation with cross-entropy loss
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case TanhAct:
+		return "tanh"
+	case SigmoidAct:
+		return "sigmoid"
+	case ReLUAct:
+		return "relu"
+	case SoftmaxAct:
+		return "softmax"
+	}
+	return fmt.Sprintf("Activation(%d)", int(a))
+}
+
+// apply computes the activation of the pre-activation vector z.
+func (a Activation) apply(z tensor.Vector) tensor.Vector {
+	switch a {
+	case Identity:
+		return z.Clone()
+	case TanhAct:
+		return tensor.Apply(z, tensor.Tanh)
+	case SigmoidAct:
+		return tensor.Apply(z, tensor.Sigmoid)
+	case ReLUAct:
+		return tensor.Apply(z, tensor.ReLU)
+	case SoftmaxAct:
+		return tensor.Softmax(z)
+	}
+	panic("nn: unknown activation")
+}
+
+// prime computes the derivative dy/dz given pre-activation z and activation y.
+func (a Activation) prime(z, y tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, len(z))
+	switch a {
+	case Identity:
+		out.Fill(1)
+	case TanhAct:
+		for i := range out {
+			out[i] = tensor.TanhPrime(y[i])
+		}
+	case SigmoidAct:
+		for i := range out {
+			out[i] = tensor.SigmoidPrime(y[i])
+		}
+	case ReLUAct:
+		for i := range out {
+			out[i] = tensor.ReLUPrime(z[i])
+		}
+	case SoftmaxAct:
+		// Softmax derivative is handled jointly with cross-entropy in the
+		// output delta; treated as identity here.
+		out.Fill(1)
+	default:
+		panic("nn: unknown activation")
+	}
+	return out
+}

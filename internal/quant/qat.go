@@ -1,0 +1,161 @@
+package quant
+
+import (
+	"repro/internal/nn"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// QATMat implements quantization-aware training (the §II reduced-precision
+// inference result, paper ref. [13]): full-precision master weights are
+// fake-quantized on every forward and backward pass — and layer inputs
+// (activations) optionally quantized too — while gradient updates flow to
+// the fp32 master copy (the straight-through estimator). After training,
+// inference at the target precision matches what training saw.
+type QATMat struct {
+	Inner *nn.DenseMat
+	WQ    *Quantizer // weight quantizer
+	AQ    *Quantizer // activation (input) quantizer; nil disables
+}
+
+// Rows implements nn.Mat.
+func (q *QATMat) Rows() int { return q.Inner.Rows() }
+
+// Cols implements nn.Mat.
+func (q *QATMat) Cols() int { return q.Inner.Cols() }
+
+func (q *QATMat) quantIn(x tensor.Vector) tensor.Vector {
+	if q.AQ == nil {
+		return x
+	}
+	return q.AQ.QuantizeVec(x)
+}
+
+// Forward implements nn.Mat with quantized weights and inputs.
+func (q *QATMat) Forward(x tensor.Vector) tensor.Vector {
+	x = q.quantIn(x)
+	m := q.Inner.M
+	y := make(tensor.Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += q.WQ.Quantize(w) * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Backward implements nn.Mat through the quantized weights (STE: the
+// quantizer is treated as identity for gradients).
+func (q *QATMat) Backward(d tensor.Vector) tensor.Vector {
+	m := q.Inner.M
+	y := make(tensor.Vector, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		di := d[i]
+		if di == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			y[j] += q.WQ.Quantize(w) * di
+		}
+	}
+	return y
+}
+
+// Update implements nn.Mat on the fp32 master weights.
+func (q *QATMat) Update(scale float64, u, v tensor.Vector) {
+	q.Inner.Update(scale, u, v.Clone()) // v may alias caller's activation
+}
+
+var _ nn.Mat = (*QATMat)(nil)
+
+// QATFactory builds QAT layers with the given weight/activation precision.
+// aBits <= 0 disables activation quantization.
+func QATFactory(wBits int, wScale float64, aBits int, aScale float64, rng *rngutil.Source) nn.MatFactory {
+	dense := nn.DenseFactory(rng)
+	return func(rows, cols int) nn.Mat {
+		q := &QATMat{Inner: dense(rows, cols).(*nn.DenseMat), WQ: New(wBits, wScale)}
+		if aBits > 0 {
+			q.AQ = New(aBits, aScale)
+		}
+		return q
+	}
+}
+
+// SRMat trains with weights *stored* at reduced precision (the §II
+// reduced-precision training result, paper ref. [11]): every weight lives
+// on the quantizer grid, and updates are applied with stochastic rounding
+// so that sub-step gradients still accumulate in expectation. This is the
+// digital analogue of the crossbar's finite conductance states.
+type SRMat struct {
+	Inner *nn.DenseMat
+	Q     *Quantizer
+	rng   *rngutil.Source
+}
+
+// NewSRMat wraps inner, snapping existing weights to the grid.
+func NewSRMat(inner *nn.DenseMat, q *Quantizer, rng *rngutil.Source) *SRMat {
+	for i, w := range inner.M.Data {
+		inner.M.Data[i] = q.Quantize(w)
+	}
+	return &SRMat{Inner: inner, Q: q, rng: rng}
+}
+
+// Rows implements nn.Mat.
+func (s *SRMat) Rows() int { return s.Inner.Rows() }
+
+// Cols implements nn.Mat.
+func (s *SRMat) Cols() int { return s.Inner.Cols() }
+
+// Forward implements nn.Mat.
+func (s *SRMat) Forward(x tensor.Vector) tensor.Vector { return s.Inner.Forward(x) }
+
+// Backward implements nn.Mat.
+func (s *SRMat) Backward(d tensor.Vector) tensor.Vector { return s.Inner.Backward(d) }
+
+// Update implements nn.Mat: the fp update target is stochastically rounded
+// to the nearest grid values so E[new weight] equals the exact update.
+func (s *SRMat) Update(scale float64, u, v tensor.Vector) {
+	m := s.Inner.M
+	step := 2 * s.Q.Scale / float64(s.Q.Levels()-1)
+	for i := 0; i < m.Rows; i++ {
+		su := scale * u[i]
+		if su == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			target := row[j] + su*v[j]
+			lo := s.Q.Quantize(target)
+			diff := target - lo
+			// Quantize rounds to nearest; recover the floor of the grid cell.
+			if diff < 0 {
+				lo -= step
+				diff += step
+			}
+			w := lo
+			if s.rng.Float64() < diff/step {
+				w = lo + step
+			}
+			if w > s.Q.Scale {
+				w = s.Q.Scale
+			} else if w < -s.Q.Scale {
+				w = -s.Q.Scale
+			}
+			row[j] = w
+		}
+	}
+}
+
+var _ nn.Mat = (*SRMat)(nil)
+
+// SRFactory builds stochastic-rounding low-precision training layers.
+func SRFactory(bits int, scale float64, rng *rngutil.Source) nn.MatFactory {
+	dense := nn.DenseFactory(rng.Child("init"))
+	return func(rows, cols int) nn.Mat {
+		return NewSRMat(dense(rows, cols).(*nn.DenseMat), New(bits, scale), rng.Child("sr"))
+	}
+}

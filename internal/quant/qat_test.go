@@ -1,0 +1,175 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+func TestQATForwardUsesQuantizedWeights(t *testing.T) {
+	inner := nn.NewDenseMat(1, 2)
+	inner.M.Data = []float64{0.34, -0.81} // off-grid values
+	q := &QATMat{Inner: inner, WQ: New(2, 1)}
+	y := q.Forward(tensor.Vector{1, 1})
+	// 2-bit grid over [-1,1]: {-1, -1/3, 1/3, 1}; 0.34 -> 1/3, -0.81 -> -1.
+	want := 1.0/3 - 1
+	if math.Abs(y[0]-want) > 1e-9 {
+		t.Fatalf("Forward = %v, want %v", y[0], want)
+	}
+}
+
+func TestQATActivationQuantization(t *testing.T) {
+	inner := nn.NewDenseMat(1, 1)
+	inner.M.Data = []float64{1}
+	q := &QATMat{Inner: inner, WQ: New(8, 1), AQ: New(1, 1)}
+	// 1-bit activations: inputs snap to ±1.
+	if y := q.Forward(tensor.Vector{0.2}); math.Abs(y[0]-1) > 1e-9 {
+		t.Fatalf("activation not quantized: %v", y)
+	}
+}
+
+func TestQATUpdateHitsMasterWeights(t *testing.T) {
+	inner := nn.NewDenseMat(1, 1)
+	q := &QATMat{Inner: inner, WQ: New(2, 1)}
+	q.Update(0.001, tensor.Vector{1}, tensor.Vector{1})
+	if inner.M.Data[0] != 0.001 {
+		t.Fatalf("master weight = %v, want fp update 0.001", inner.M.Data[0])
+	}
+	// The quantized view may still read as 0-level until the master crosses
+	// a grid boundary — that's the STE contract.
+	if y := q.Forward(tensor.Vector{1}); math.Abs(y[0]) > 0.5 {
+		t.Fatalf("quantized view jumped early: %v", y)
+	}
+}
+
+func TestQATBackwardMatchesQuantizedForward(t *testing.T) {
+	rng := rngutil.New(1)
+	inner := nn.NewDenseMat(3, 2)
+	for i := range inner.M.Data {
+		inner.M.Data[i] = rng.Uniform(-1, 1)
+	}
+	q := &QATMat{Inner: inner, WQ: New(4, 1)}
+	d := tensor.Vector{0.5, -0.2, 0.8}
+	got := q.Backward(d)
+	// Reference: quantize the matrix, then transpose-MVM.
+	ref := tensor.NewMatrix(3, 2)
+	for i, w := range inner.M.Data {
+		ref.Data[i] = q.WQ.Quantize(w)
+	}
+	want := ref.MatVecT(d)
+	for j := range got {
+		if math.Abs(got[j]-want[j]) > 1e-9 {
+			t.Fatalf("Backward = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSRMatWeightsStayOnGrid(t *testing.T) {
+	rng := rngutil.New(3)
+	inner := nn.NewDenseMat(4, 4)
+	for i := range inner.M.Data {
+		inner.M.Data[i] = rng.Uniform(-1, 1)
+	}
+	q := New(4, 1)
+	s := NewSRMat(inner, q, rng.Child("sr"))
+	for step := 0; step < 50; step++ {
+		u := make(tensor.Vector, 4)
+		v := make(tensor.Vector, 4)
+		for i := range u {
+			u[i] = rng.Normal(0, 1)
+			v[i] = rng.Normal(0, 1)
+		}
+		s.Update(0.01, u, v)
+	}
+	for _, w := range inner.M.Data {
+		if math.Abs(q.Quantize(w)-w) > 1e-9 {
+			t.Fatalf("weight %v off grid", w)
+		}
+		if w < -1-1e-9 || w > 1+1e-9 {
+			t.Fatalf("weight %v out of range", w)
+		}
+	}
+}
+
+// Stochastic rounding must be unbiased: tiny updates accumulate in
+// expectation even when far below one grid step.
+func TestSRMatUnbiasedSmallUpdates(t *testing.T) {
+	rng := rngutil.New(5)
+	q := New(4, 1) // step = 2/15 ≈ 0.133
+	const trials = 3000
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		inner := nn.NewDenseMat(1, 1)
+		s := NewSRMat(inner, q, rng.Child(fmt.Sprintf("sr%d", trial)))
+		start := inner.M.Data[0]                           // 0 snapped onto the grid
+		s.Update(0.01, tensor.Vector{1}, tensor.Vector{1}) // +0.01 << step
+		sum += inner.M.Data[0] - start
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.01) > 0.004 {
+		t.Fatalf("E[dw] after +0.01 update = %v, want ~0.01", mean)
+	}
+}
+
+func TestSRTrainingLearns(t *testing.T) {
+	// An 8-bit SR-trained MLP should learn a separable task like fp32 does.
+	rng := rngutil.New(7)
+	m := nn.NewMLP([]int{4, 8, 2}, nn.TanhAct, nn.SoftmaxAct, SRFactory(8, 1, rng))
+	dr := rngutil.New(8)
+	var xs []tensor.Vector
+	var ys []int
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		center := 1.5
+		if c == 0 {
+			center = -1.5
+		}
+		x := make(tensor.Vector, 4)
+		for j := range x {
+			x[j] = dr.Normal(center, 1)
+		}
+		xs = append(xs, x)
+		ys = append(ys, c)
+	}
+	for epoch := 0; epoch < 10; epoch++ {
+		for i := range xs {
+			m.TrainStep(xs[i], ys[i], 0.05)
+		}
+	}
+	if acc := m.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("8-bit SR training accuracy %v", acc)
+	}
+}
+
+func TestQATTrainingLearns(t *testing.T) {
+	rng := rngutil.New(9)
+	m := nn.NewMLP([]int{4, 12, 2}, nn.TanhAct, nn.SoftmaxAct, QATFactory(2, 1, 2, 2, rng))
+	dr := rngutil.New(10)
+	var xs []tensor.Vector
+	var ys []int
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		center := 1.5
+		if c == 0 {
+			center = -1.5
+		}
+		x := make(tensor.Vector, 4)
+		for j := range x {
+			x[j] = dr.Normal(center, 1)
+		}
+		xs = append(xs, x)
+		ys = append(ys, c)
+	}
+	for epoch := 0; epoch < 15; epoch++ {
+		for i := range xs {
+			m.TrainStep(xs[i], ys[i], 0.05)
+		}
+	}
+	if acc := m.Accuracy(xs, ys); acc < 0.9 {
+		t.Fatalf("2-bit QAT accuracy %v", acc)
+	}
+}

@@ -1,0 +1,100 @@
+package recsys
+
+import (
+	"repro/internal/memsys"
+	"repro/internal/perfmodel"
+)
+
+// NMPConfig models a near-memory-processing memory system for embedding
+// gathers (§V-B's "caching, prefetching, and near memory processing",
+// paper ref. [66] — TensorDIMM): pooling units sit at the DIMM rank, so
+// gathered rows are summed *inside* the memory modules and only the pooled
+// vector crosses the host memory channel.
+type NMPConfig struct {
+	// Ranks is the number of memory ranks gathering in parallel; internal
+	// bandwidth scales with it while the host channel does not.
+	Ranks int
+	// ChannelBW is the host-visible memory channel bandwidth (bytes/s).
+	ChannelBW float64
+	// InternalBWPerRank is each rank's internal access bandwidth.
+	InternalBWPerRank float64
+	// AccessLatency is the per-burst DRAM latency (shared by both paths).
+	AccessLatency float64
+	// EnergyPerByteInternal / EnergyPerByteChannel split the access energy:
+	// channel (I/O) bytes cost extra over internal array reads.
+	EnergyPerByteInternal float64
+	EnergyPerByteChannel  float64
+	// PoolEnergyPerElem prices the near-memory adders.
+	PoolEnergyPerElem float64
+}
+
+// DefaultNMP returns DDR4-class parameters with 4 ranks.
+func DefaultNMP() NMPConfig {
+	d := memsys.DefaultDRAM()
+	return NMPConfig{
+		Ranks:                 4,
+		ChannelBW:             d.Bandwidth,
+		InternalBWPerRank:     d.Bandwidth, // each rank can stream at channel rate internally
+		AccessLatency:         d.AccessLatency,
+		EnergyPerByteInternal: 7e-12,  // array + on-DIMM movement
+		EnergyPerByteChannel:  13e-12, // I/O + termination
+		PoolEnergyPerElem:     0.5e-12,
+	}
+}
+
+// GatherWork describes one batch of embedding gathers.
+type GatherWork struct {
+	Tables     int
+	LookupsPer int // rows gathered per table (multi-hot)
+	EmbDim     int
+	Batch      int
+}
+
+// rows returns the total gathered rows and the pooled output vectors.
+func (w GatherWork) rows() (gathered, pooled float64) {
+	gathered = float64(w.Tables) * float64(w.LookupsPer) * float64(w.Batch)
+	pooled = float64(w.Tables) * float64(w.Batch)
+	return gathered, pooled
+}
+
+// BaselineGatherCost prices the conventional path: every gathered row
+// crosses the host channel, and the CPU performs the pooling.
+func (c NMPConfig) BaselineGatherCost(w GatherWork) *perfmodel.Cost {
+	gathered, _ := w.rows()
+	rowBytes := float64(w.EmbDim) * 4
+	total := gathered * rowBytes
+	cost := perfmodel.NewCost()
+	cost.Latency = c.AccessLatency + total/c.ChannelBW
+	cost.Energy = total * (c.EnergyPerByteInternal + c.EnergyPerByteChannel)
+	cost.Ops["gather.rows"] = int64(gathered)
+	cost.Ops["channel.bytes"] = int64(total)
+	return cost
+}
+
+// NMPGatherCost prices the near-memory path: rows stream inside the ranks
+// (in parallel), pooling happens at the DIMM, and only pooled vectors cross
+// the channel.
+func (c NMPConfig) NMPGatherCost(w GatherWork) *perfmodel.Cost {
+	gathered, pooled := w.rows()
+	rowBytes := float64(w.EmbDim) * 4
+	internalBytes := gathered * rowBytes
+	channelBytes := pooled * rowBytes
+	cost := perfmodel.NewCost()
+	internalTime := internalBytes / (c.InternalBWPerRank * float64(c.Ranks))
+	channelTime := channelBytes / c.ChannelBW
+	cost.Latency = c.AccessLatency + internalTime + channelTime
+	cost.Energy = internalBytes*c.EnergyPerByteInternal +
+		channelBytes*c.EnergyPerByteChannel +
+		gathered*float64(w.EmbDim)*c.PoolEnergyPerElem
+	cost.Ops["gather.rows"] = int64(gathered)
+	cost.Ops["channel.bytes"] = int64(channelBytes)
+	return cost
+}
+
+// NMPSpeedup reports the latency and energy gains of near-memory pooling
+// for the given gather workload.
+func (c NMPConfig) NMPSpeedup(w GatherWork) (latency, energy float64) {
+	base := c.BaselineGatherCost(w)
+	nmp := c.NMPGatherCost(w)
+	return nmp.Speedup(base), nmp.EnergyRatio(base)
+}

@@ -1,0 +1,188 @@
+package recsys
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/memsys"
+	"repro/internal/perfmodel"
+	"repro/internal/rngutil"
+)
+
+// RMCSmall is a balanced small model (the Fig. 6 shape at toy scale),
+// convenient for functional tests and examples.
+func RMCSmall() Config {
+	return Config{
+		Name:     "rm-small",
+		DenseDim: 16, BottomMLP: []int{32, 16},
+		EmbDim: 16, TableSizes: []int{10000, 5000, 2000, 500}, LookupsPer: 4,
+		TopMLP: []int{32, 16},
+	}
+}
+
+// RMCEmbed is the embedding-dominated configuration of §V-B: many large
+// tables, many lookups, thin MLP stacks — memory capacity and bandwidth
+// bound (the DLRM-RMC1/RMC2 regime of the paper's ref. [59]).
+func RMCEmbed() Config {
+	return Config{
+		Name:     "rm-embed",
+		DenseDim: 16, BottomMLP: []int{32, 32},
+		EmbDim: 64,
+		TableSizes: []int{
+			10_000_000, 10_000_000, 5_000_000, 5_000_000,
+			2_000_000, 2_000_000, 1_000_000, 1_000_000,
+		},
+		LookupsPer: 32,
+		TopMLP:     []int{64, 32},
+	}
+}
+
+// RMCMLP is the compute-dominated configuration: heavy dense and predictor
+// stacks over few small tables (the DLRM-RMC3 regime).
+func RMCMLP() Config {
+	return Config{
+		Name:     "rm-mlp",
+		DenseDim: 256, BottomMLP: []int{1024, 1024, 512},
+		EmbDim: 32, TableSizes: []int{100000, 100000}, LookupsPer: 1,
+		TopMLP: []int{1024, 1024, 512},
+	}
+}
+
+// ProductionScale returns an RM-embed-shaped config scaled to production
+// capacity (tens of GB), used only for analytic capacity accounting —
+// nothing this size is ever allocated.
+func ProductionScale() Config {
+	c := RMCEmbed()
+	c.Name = "rm-production"
+	c.TableSizes = nil
+	for i := 0; i < 16; i++ {
+		c.TableSizes = append(c.TableSizes, 10_000_000)
+	}
+	c.EmbDim = 64
+	return c
+}
+
+// OpProfile characterizes one operator of the model.
+type OpProfile struct {
+	Name      string
+	FLOPs     float64 // per batch
+	Bytes     float64 // per batch (weights once per batch + activations/gathers)
+	Intensity float64 // FLOPs/byte
+	Bound     string  // roofline classification
+}
+
+// mlpCost returns flops and weight bytes for a stack of dense layers
+// (including bias columns) at the given batch size. Weights stream once per
+// batch (the amortization embeddings can never enjoy).
+func mlpCost(sizes []int, batch int) (flops, bytes float64) {
+	for i := 0; i+1 < len(sizes); i++ {
+		in, out := sizes[i], sizes[i+1]
+		weights := float64(out) * float64(in+1)
+		flops += 2 * weights * float64(batch)
+		bytes += weights * 4
+		bytes += float64(in+out) * 4 * float64(batch) // activations
+	}
+	return flops, bytes
+}
+
+// Profile characterizes every operator of a config at the given batch size
+// against the given roofline machine.
+func Profile(cfg Config, batch int, r perfmodel.Roofline) []OpProfile {
+	var out []OpProfile
+
+	bottomSizes := append([]int{cfg.DenseDim}, cfg.BottomMLP...)
+	bf, bb := mlpCost(bottomSizes, batch)
+	out = append(out, newOp("bottom-mlp", bf, bb, r))
+
+	// Embedding gather+pool: every lookup touches a distinct row — bytes
+	// scale with batch, so intensity never amortizes.
+	lookups := float64(len(cfg.TableSizes)) * float64(cfg.LookupsPer) * float64(batch)
+	ef := lookups * float64(cfg.EmbDim)     // pooling adds
+	eb := lookups * float64(cfg.EmbDim) * 4 // row gathers
+	out = append(out, newOp("embedding", ef, eb, r))
+
+	interDim := cfg.BottomMLP[len(cfg.BottomMLP)-1] + len(cfg.TableSizes)*cfg.EmbDim
+	cf := float64(interDim) * float64(batch) // concatenation copies
+	cb := float64(interDim) * 4 * float64(batch) * 2
+	out = append(out, newOp("interaction", cf, cb, r))
+
+	topSizes := append([]int{interDim}, cfg.TopMLP...)
+	topSizes = append(topSizes, 1)
+	tf, tb := mlpCost(topSizes, batch)
+	out = append(out, newOp("top-mlp", tf, tb, r))
+	return out
+}
+
+func newOp(name string, flops, bytes float64, r perfmodel.Roofline) OpProfile {
+	intensity := 0.0
+	if bytes > 0 {
+		intensity = flops / bytes
+	}
+	return OpProfile{Name: name, FLOPs: flops, Bytes: bytes, Intensity: intensity, Bound: r.Bound(intensity)}
+}
+
+// CapacityBytes reports the full model footprint (tables + MLPs) without
+// instantiating it.
+func CapacityBytes(cfg Config) int64 {
+	var b int64
+	for _, rows := range cfg.TableSizes {
+		b += int64(rows) * int64(cfg.EmbDim) * 4
+	}
+	sizes := append([]int{cfg.DenseDim}, cfg.BottomMLP...)
+	for i := 0; i+1 < len(sizes); i++ {
+		b += int64(sizes[i+1]) * int64(sizes[i]+1) * 4
+	}
+	interDim := cfg.BottomMLP[len(cfg.BottomMLP)-1] + len(cfg.TableSizes)*cfg.EmbDim
+	top := append([]int{interDim}, cfg.TopMLP...)
+	top = append(top, 1)
+	for i := 0; i+1 < len(top); i++ {
+		b += int64(top[i+1]) * int64(top[i]+1) * 4
+	}
+	return b
+}
+
+// InferenceTime estimates one batch's execution time on the roofline
+// machine, summing per-operator times (max of compute and memory time per
+// op).
+func InferenceTime(cfg Config, batch int, r perfmodel.Roofline) float64 {
+	var t float64
+	for _, op := range Profile(cfg, batch, r) {
+		t += r.Time(op.FLOPs, op.Bytes)
+	}
+	return t
+}
+
+// DominantOp reports which operator consumes the largest share of roofline
+// time — the compute-dominated vs memory-bound distinction of §V-B.
+func DominantOp(cfg Config, batch int, r perfmodel.Roofline) string {
+	best, bestT := "", -1.0
+	for _, op := range Profile(cfg, batch, r) {
+		if tt := r.Time(op.FLOPs, op.Bytes); tt > bestT {
+			best, bestT = op.Name, tt
+		}
+	}
+	return best
+}
+
+// EmbeddingCacheStudy replays a Zipf-skewed embedding access trace against
+// an on-chip cache of the given capacity and returns the hit rate — the
+// locality headroom that caching/prefetching co-design can exploit (§V-B).
+func EmbeddingCacheStudy(tableRows, embDim, cacheBytes int, zipfS float64, accesses int, seed uint64) float64 {
+	rng := rngutil.New(seed)
+	z := newZipf(rng, zipfS, tableRows)
+	cache := memsys.NewCache(cacheBytes, 8, 64)
+	rowBytes := uint64(embDim * 4)
+	for i := 0; i < accesses; i++ {
+		row := z()
+		// Touch the first line of the row (pooled rows are read fully, but
+		// line-granularity hit behaviour is identical for aligned rows).
+		cache.Access(uint64(row) * rowBytes)
+	}
+	return cache.Stats.HitRate()
+}
+
+// newZipf returns a seeded Zipf row sampler over [0, n).
+func newZipf(rng *rngutil.Source, s float64, n int) func() int {
+	z := rand.NewZipf(rng.Rand, math.Max(s, 1.001), 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}

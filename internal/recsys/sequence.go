@@ -1,0 +1,99 @@
+package recsys
+
+import (
+	"math"
+
+	"repro/internal/perfmodel"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// InterestModule models a user's interaction history with attention, the
+// §V-B "emerging recommendation models [that] rely on explicitly modeling
+// sequences of user interactions and interests with RNNs and attention"
+// (deep-interest-network style): the candidate item's embedding queries the
+// history embeddings, and the attention-pooled history becomes an extra
+// interaction feature.
+type InterestModule struct {
+	Dim  int
+	Beta float64 // attention temperature
+}
+
+// NewInterestModule builds the attention pooler for Dim-wide embeddings.
+func NewInterestModule(dim int, beta float64) *InterestModule {
+	return &InterestModule{Dim: dim, Beta: beta}
+}
+
+// Pool computes softmax(β·⟨candidate, hᵢ⟩)-weighted sum of the history
+// embeddings, plus the attention weights for inspection.
+func (m *InterestModule) Pool(candidate tensor.Vector, history []tensor.Vector) (tensor.Vector, tensor.Vector) {
+	if len(history) == 0 {
+		return tensor.NewVector(m.Dim), nil
+	}
+	logits := make(tensor.Vector, len(history))
+	for i, h := range history {
+		logits[i] = tensor.Dot(candidate, h) / math.Sqrt(float64(m.Dim))
+	}
+	attn := tensor.SoftmaxT(logits, m.Beta)
+	out := tensor.NewVector(m.Dim)
+	for i, h := range history {
+		out.AXPY(attn[i], h)
+	}
+	return out, attn
+}
+
+// FLOPs reports the compute of one pooling over a history of length n.
+func (m *InterestModule) FLOPs(n int) float64 {
+	// n dot products + softmax + weighted sum.
+	return float64(n)*(2*float64(m.Dim)) + 4*float64(n) + float64(n)*2*float64(m.Dim)
+}
+
+// Bytes reports the memory traffic of one pooling (history gather).
+func (m *InterestModule) Bytes(n int) float64 { return float64(n) * float64(m.Dim) * 4 }
+
+// RMCSeq is the sequence-interest configuration: an RM-embed-like model
+// whose per-sample work additionally includes attention over a user-history
+// window. HistoryLen history items are gathered per inference.
+type SeqConfig struct {
+	Config
+	HistoryLen int
+}
+
+// RMCSeq returns the sequence-interest variant of §V-B.
+func RMCSeq() SeqConfig {
+	c := RMCEmbed()
+	c.Name = "rm-seq"
+	return SeqConfig{Config: c, HistoryLen: 64}
+}
+
+// SeqProfile extends the operator profile with the attention-pooling op.
+func SeqProfile(cfg SeqConfig, batch int, r perfmodel.Roofline) []OpProfile {
+	base := Profile(cfg.Config, batch, r)
+	m := NewInterestModule(cfg.EmbDim, 1)
+	flops := m.FLOPs(cfg.HistoryLen) * float64(batch)
+	bytes := m.Bytes(cfg.HistoryLen) * float64(batch)
+	return append(base, newOp("interest-attn", flops, bytes, r))
+}
+
+// SyntheticHistory draws a user history of embeddings biased toward a taste
+// direction, plus a matching (positive) and a random (negative) candidate —
+// a self-contained demonstration that attention pooling ranks the matching
+// candidate higher.
+func SyntheticHistory(dim, n int, rng *rngutil.Source) (history []tensor.Vector, taste tensor.Vector) {
+	taste = make(tensor.Vector, dim)
+	for i := range taste {
+		taste[i] = rng.NormFloat64()
+	}
+	norm := taste.Norm2()
+	if norm > 0 {
+		taste.Scale(1 / norm)
+	}
+	for k := 0; k < n; k++ {
+		h := make(tensor.Vector, dim)
+		for i := range h {
+			h[i] = 0.8*taste[i] + 0.6*rng.NormFloat64()
+		}
+		history = append(history, h)
+	}
+	return history, taste
+}

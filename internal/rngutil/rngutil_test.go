@@ -1,0 +1,114 @@
+package rngutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Child("weights")
+	c2 := root.Child("noise")
+	// Distinct labels should give distinct streams.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("child streams look identical (%d/50 equal draws)", same)
+	}
+	// Same label from same seed must reproduce.
+	d1 := New(7).Child("weights")
+	d2 := New(7).Child("weights")
+	for i := 0; i < 50; i++ {
+		if d1.Float64() != d2.Float64() {
+			t.Fatal("same (seed,label) must reproduce")
+		}
+	}
+}
+
+func TestChildDoesNotConsumeParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Child("x") // deriving a child must not advance the parent stream
+	if a.Float64() != b.Float64() {
+		t.Fatal("Child must not consume parent stream state")
+	}
+}
+
+func TestSeed(t *testing.T) {
+	if New(123).Seed() != 123 {
+		t.Fatal("Seed() should report construction seed")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 20; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) must be false")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) must be true")
+		}
+		if s.Bernoulli(-0.5) || !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli must clamp")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(11)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(2, 3)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-2) > 0.1 {
+		t.Errorf("mean = %v, want ~2", mean)
+	}
+	if math.Abs(std-3) > 0.1 {
+		t.Errorf("std = %v, want ~3", std)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 1000; i++ {
+		x := s.Uniform(-2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package xmann
+
+import (
+	"fmt"
+
+	"repro/internal/crossbar"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// TCPT is the functional model of one transposable crossbar-based
+// processing tile (§III-A): a crossbar array that can apply inputs along
+// its columns and read currents along rows (dot products, L1 norms) or
+// apply inputs along rows and read along columns (soft read), plus the
+// parallel rank-1 soft write.
+//
+// The memory vectors are stored as rows, one crosspoint per element, and —
+// as in differentiable memories, whose contents live in [0, 1] after
+// squashing — are assumed non-negative so that the all-ones input computes
+// L1 norms (the hardware uses differential line pairs for signed values).
+type TCPT struct {
+	arr *crossbar.Array
+}
+
+// NewTCPT builds an ideal-device tile (functional verification focuses on
+// the dataflow; device non-idealities are the domain of package crossbar).
+// Soft writes use expected-pulse updates: X-MANN's writes carry full
+// attention weights, far beyond the single-train stochastic-update range.
+func NewTCPT(rows, cols int, rng *rngutil.Source) *TCPT {
+	cfg := crossbar.DefaultConfig()
+	cfg.Update = crossbar.UpdateExpected
+	return &TCPT{arr: crossbar.NewArray(rows, cols, crossbar.Ideal(), cfg, rng)}
+}
+
+// Program writes the memory contents (non-negative) into the tile.
+func (t *TCPT) Program(m *tensor.Matrix) {
+	for _, v := range m.Data {
+		if v < 0 {
+			panic("xmann: TCPT memory values must be non-negative")
+		}
+	}
+	t.arr.Program(m, 8000)
+}
+
+// DotProducts applies the key along the columns and reads the per-row
+// currents: dot(memory_i, key) for every stored vector, in one crossbar op.
+func (t *TCPT) DotProducts(key tensor.Vector) tensor.Vector { return t.arr.Forward(key) }
+
+// L1Norms applies the all-ones vector along the columns, yielding every
+// row's L1 norm in a second crossbar op (§III-A2).
+func (t *TCPT) L1Norms() tensor.Vector {
+	ones := tensor.NewVector(t.arr.Cols())
+	ones.Fill(1)
+	return t.arr.Forward(ones)
+}
+
+// SoftRead applies the attention weights along the rows and reads columns:
+// r = wᵀM in a single crossbar op (§III-A3).
+func (t *TCPT) SoftRead(w tensor.Vector) tensor.Vector { return t.arr.Backward(w) }
+
+// SoftWrite performs the additive soft write M += w ⊗ add as one parallel
+// rank-1 update.
+func (t *TCPT) SoftWrite(w, add tensor.Vector) { t.arr.Update(1, w, add) }
+
+// Weights exposes the tile contents for verification.
+func (t *TCPT) Weights() *tensor.Matrix { return t.arr.Weights() }
+
+// DistributedMemory partitions an M×D differentiable memory row-wise across
+// TCPTs, with the global reduce unit combining partial soft-read outputs —
+// the X-MANN dataflow of Fig. 4.
+type DistributedMemory struct {
+	M, D     int
+	TileRows int
+	Tiles    []*TCPT
+}
+
+// NewDistributedMemory programs the memory matrix across ceil(M/tileRows)
+// tiles.
+func NewDistributedMemory(mem *tensor.Matrix, tileRows int, rng *rngutil.Source) *DistributedMemory {
+	if tileRows <= 0 {
+		panic("xmann: tileRows must be positive")
+	}
+	d := &DistributedMemory{M: mem.Rows, D: mem.Cols, TileRows: tileRows}
+	for start := 0; start < mem.Rows; start += tileRows {
+		end := start + tileRows
+		if end > mem.Rows {
+			end = mem.Rows
+		}
+		sub := tensor.NewMatrix(end-start, mem.Cols)
+		copy(sub.Data, mem.Data[start*mem.Cols:end*mem.Cols])
+		tile := NewTCPT(end-start, mem.Cols, rng.Child(fmt.Sprintf("tile%d", start)))
+		tile.Program(sub)
+		d.Tiles = append(d.Tiles, tile)
+	}
+	return d
+}
+
+// Similarity computes the attention distribution over all memory rows with
+// the X-MANN similarity measure: softmax(β · dot_i / (‖m_i‖₁ + ε)),
+// using two crossbar ops per tile plus the SFU math.
+func (d *DistributedMemory) Similarity(key tensor.Vector, beta float64) tensor.Vector {
+	scores := make(tensor.Vector, 0, d.M)
+	for _, t := range d.Tiles {
+		dots := t.DotProducts(key)
+		norms := t.L1Norms()
+		for i := range dots {
+			scores = append(scores, dots[i]/(norms[i]+1e-9))
+		}
+	}
+	return tensor.SoftmaxT(scores, beta)
+}
+
+// SoftRead computes r = wᵀM: each tile consumes its slice of w; the global
+// reduce unit sums the partial outputs.
+func (d *DistributedMemory) SoftRead(w tensor.Vector) tensor.Vector {
+	if len(w) != d.M {
+		panic("xmann: weight length mismatch")
+	}
+	out := tensor.NewVector(d.D)
+	for ti, t := range d.Tiles {
+		start := ti * d.TileRows
+		part := t.SoftRead(w[start : start+t.arr.Rows()])
+		out.Add(part)
+	}
+	return out
+}
+
+// SoftWrite applies the additive write across tiles.
+func (d *DistributedMemory) SoftWrite(w, add tensor.Vector) {
+	if len(w) != d.M {
+		panic("xmann: weight length mismatch")
+	}
+	for ti, t := range d.Tiles {
+		start := ti * d.TileRows
+		t.SoftWrite(w[start:start+t.arr.Rows()], add)
+	}
+}
+
+// ReferenceSimilarity is the digital reference for Similarity, used in
+// verification.
+func ReferenceSimilarity(mem *tensor.Matrix, key tensor.Vector, beta float64) tensor.Vector {
+	scores := make(tensor.Vector, mem.Rows)
+	for i := 0; i < mem.Rows; i++ {
+		row := mem.Row(i)
+		scores[i] = tensor.Dot(row, key) / (row.Norm1() + 1e-9)
+	}
+	return tensor.SoftmaxT(scores, beta)
+}
