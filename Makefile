@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check campaign
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate CI runs: vet + build + race-enabled tests.
+check: vet build race
+
+# Regenerate the R1 fault-campaign tables (full size, fixed seed).
+campaign:
+	$(GO) run ./cmd/fault-campaign -seed 1234

@@ -1,0 +1,90 @@
+// Command fault-campaign runs the fault-injection degradation sweeps of
+// experiment R1: accuracy and remediation cost as the stuck-fault rate
+// rises, for the analog-training MLP, the X-MANN distributed memory, and
+// the LSH/TCAM few-shot pipeline. Fixed seeds make every run
+// bit-reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", f, err)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fault-campaign: ")
+	seed := flag.Uint64("seed", 1234, "campaign seed (same seed = identical fault history)")
+	quick := flag.Bool("quick", false, "run reduced-size variants")
+	rates := flag.String("rates", "", "comma-separated stuck-fault rates (default 0,0.05,0.10,0.20)")
+	pipeline := flag.String("pipeline", "all", "which sweep to run: analog, xmann, tcam, or all")
+	placements := flag.Int("placements", 0, "fault placements averaged per point (0 = default)")
+	writefail := flag.Float64("writefail", -1, "pulse-train drop probability during programming (<0 = default)")
+	flag.Parse()
+
+	cfg := faults.DefaultSweepConfig(*seed, *quick)
+	if *rates != "" {
+		parsed, err := parseRates(*rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Rates = parsed
+	}
+	if *placements > 0 {
+		cfg.Placements = *placements
+	}
+	if *writefail >= 0 {
+		cfg.WriteFail = *writefail
+	}
+
+	switch *pipeline {
+	case "all":
+		if *rates != "" || *placements > 0 || *writefail >= 0 {
+			log.Print("note: -rates/-placements/-writefail apply to single pipelines; -pipeline all runs the registered R1 configuration")
+		}
+		e, _ := core.Lookup("R1")
+		fmt.Printf("=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
+		if err := e.Run(os.Stdout, *seed, *quick); err != nil {
+			log.Fatal(err)
+		}
+	case "analog":
+		printTable(faults.AnalogSweep(cfg))
+	case "xmann":
+		printTable(faults.XMannSweep(cfg))
+	case "tcam":
+		printTable(faults.TCAMSweep(cfg))
+	default:
+		log.Fatalf("unknown pipeline %q (want analog, xmann, tcam, or all)", *pipeline)
+	}
+}
+
+func printTable(points []faults.Point) {
+	fmt.Printf("%-8s %-14s %-10s %-10s %-10s %-8s %s\n",
+		"rate", "strategy", "accuracy", "residual", "pulses", "reads", "remapped")
+	for _, p := range points {
+		fmt.Printf("%-8.2f %-14s %-10.4f %-10.4f %-10.0f %-8.1f %.1f\n",
+			p.Rate, p.Strategy, p.Accuracy, p.Residual, p.AvgPulses, p.AvgReads, p.AvgRemapped)
+	}
+}

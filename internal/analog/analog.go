@@ -93,9 +93,11 @@ func DefaultOptions(model crossbar.Model, mode Mode) Options {
 // effects (drift) and maintenance (PCM reset) can be applied globally, the
 // way a chip controller would.
 type Session struct {
-	opts   Options
-	rng    *rngutil.Source
-	arrays []*crossbar.Array
+	opts      Options
+	rng       *rngutil.Source
+	arrays    []*crossbar.Array
+	hook      crossbar.FaultHook
+	residuals []float64
 }
 
 // NewSession creates a training session.
@@ -108,6 +110,21 @@ func NewSession(opts Options, rng *rngutil.Source) *Session {
 
 // Arrays returns all crossbar arrays created by this session's factory.
 func (s *Session) Arrays() []*crossbar.Array { return s.arrays }
+
+// AttachHook installs a fault hook (e.g. a faults.Engine) on every array the
+// session has built and on every array it builds afterwards, so a fault
+// campaign covers the whole training lifetime including initial programming.
+func (s *Session) AttachHook(hook crossbar.FaultHook) {
+	s.hook = hook
+	for _, a := range s.arrays {
+		a.SetFaultHook(hook)
+	}
+}
+
+// ProgramResiduals reports the mean-absolute programming residual of each
+// array initialization performed so far, in creation order — nonzero
+// residuals reveal write failures and stuck devices at program time.
+func (s *Session) ProgramResiduals() []float64 { return s.residuals }
 
 // AdvanceTime applies dt seconds of device drift to every array.
 func (s *Session) AdvanceTime(dt float64) {
@@ -129,6 +146,9 @@ func (s *Session) MaintainPCM(threshold float64) {
 // newArray builds, registers and randomly initializes one array.
 func (s *Session) newArray(rows, cols int, label string) *crossbar.Array {
 	a := crossbar.NewArray(rows, cols, s.opts.Model, s.opts.Cfg, s.rng.Child(label))
+	if s.hook != nil {
+		a.SetFaultHook(s.hook)
+	}
 	s.arrays = append(s.arrays, a)
 	return a
 }
@@ -144,7 +164,8 @@ func (s *Session) programRandomInit(a *crossbar.Array, ref *tensor.Matrix, label
 			target.Data[i] += ref.Data[i]
 		}
 	}
-	a.Program(target, 4000)
+	_, residual := a.Program(target, 4000)
+	s.residuals = append(s.residuals, residual)
 }
 
 // Factory returns an nn.MatFactory that builds weight storage according to

@@ -132,6 +132,18 @@ func SetTrainMode(m *nn.MLP, train bool) {
 	}
 }
 
+// digitalSource extracts the exact digital weights behind a layer destined
+// for analog programming.
+func digitalSource(l *nn.DenseLayer) *tensor.Matrix {
+	switch w := l.W.(type) {
+	case *nn.DenseMat:
+		return w.M
+	case *DropConnectMat:
+		return w.Inner.M
+	}
+	panic("analog: expected digital source layers")
+}
+
 // ProgramToArrays copies a digitally trained MLP onto fresh crossbar arrays
 // (write-verify programming) and returns the analog inference network. Any
 // DropConnectMat layers contribute their inner exact weights. Stuck-device
@@ -140,15 +152,7 @@ func ProgramToArrays(m *nn.MLP, model crossbar.Model, cfg crossbar.Config, rng *
 	out := &nn.MLP{}
 	var arrays []*crossbar.Array
 	for li, l := range m.Layers {
-		var src *tensor.Matrix
-		switch w := l.W.(type) {
-		case *nn.DenseMat:
-			src = w.M
-		case *DropConnectMat:
-			src = w.Inner.M
-		default:
-			panic("analog: ProgramToArrays expects digital source layers")
-		}
+		src := digitalSource(l)
 		a := crossbar.NewArray(l.W.Rows(), l.W.Cols(), model, cfg, rng.Child("prog-layer").Child(string(rune('a'+li))))
 		a.Program(src, 4000)
 		arrays = append(arrays, a)
@@ -157,4 +161,27 @@ func ProgramToArrays(m *nn.MLP, model crossbar.Model, cfg crossbar.Config, rng *
 		})
 	}
 	return out, arrays
+}
+
+// ProgramToArraysVerified is ProgramToArrays with closed-loop write-verify
+// retry under pol, returning each layer's programming report. If attach is
+// non-nil it is called with each fresh array before programming, which is how
+// fault campaigns subject the write path to write failures and line opens.
+func ProgramToArraysVerified(m *nn.MLP, model crossbar.Model, cfg crossbar.Config, pol crossbar.ProgramPolicy, attach func(*crossbar.Array), rng *rngutil.Source) (*nn.MLP, []*crossbar.Array, []crossbar.ProgramReport) {
+	out := &nn.MLP{}
+	var arrays []*crossbar.Array
+	var reports []crossbar.ProgramReport
+	for li, l := range m.Layers {
+		src := digitalSource(l)
+		a := crossbar.NewArray(l.W.Rows(), l.W.Cols(), model, cfg, rng.Child("prog-layer").Child(string(rune('a'+li))))
+		if attach != nil {
+			attach(a)
+		}
+		reports = append(reports, a.ProgramVerify(src, pol))
+		arrays = append(arrays, a)
+		out.Layers = append(out.Layers, &nn.DenseLayer{
+			In: l.In, Out: l.Out, Bias: l.Bias, Act: l.Act, W: a,
+		})
+	}
+	return out, arrays, reports
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/faults"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "R1",
+		Title: "Fault-injection campaign: graceful degradation vs remediation (§II-B.2, §IV-B.2)",
+		PaperClaim: "stuck/non-yielding crosspoints degrade accuracy progressively; write-verify " +
+			"retry and redundancy-based remapping recover most of the loss at bounded extra cost",
+		Run: runR1,
+	})
+}
+
+func printPoints(w io.Writer, points []faults.Point, costHeader string) {
+	fmt.Fprintf(w, "%-8s %-14s %-10s %-10s %s\n", "rate", "strategy", "accuracy", "residual", costHeader)
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8.2f %-14s %-10.3f %-10.4f %.0f pulses, %.1f reads, %.1f remapped\n",
+			p.Rate, p.Strategy, p.Accuracy, p.Residual, p.AvgPulses, p.AvgReads, p.AvgRemapped)
+	}
+}
+
+func runR1(w io.Writer, seed uint64, quick bool) error {
+	cfg := faults.DefaultSweepConfig(seed, quick)
+
+	fmt.Fprintf(w, "analog digits MLP: stuck fraction x remediation (writefail %.2f, %d placements)\n",
+		cfg.WriteFail, cfg.Placements)
+	printPoints(w, faults.AnalogSweep(cfg), "cost")
+
+	fmt.Fprintf(w, "\nX-MANN distributed memory: similarity top-1 agreement / soft-read rel-L2 error\n")
+	printPoints(w, faults.XMannSweep(cfg), "cost")
+
+	fmt.Fprintf(w, "\nTCAM few-shot (5-way 1-shot): stuck-cell rate x spatial redundancy\n")
+	fmt.Fprintf(w, "%-8s %-14s %-10s %s\n", "rate", "strategy", "accuracy", "searches/query")
+	for _, p := range faults.TCAMSweep(cfg) {
+		fmt.Fprintf(w, "%-8.2f %-14s %-10.4f %.1f\n", p.Rate, p.Strategy, p.Accuracy, p.AvgReads)
+	}
+	return nil
+}

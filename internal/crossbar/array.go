@@ -81,6 +81,7 @@ type Array struct {
 	stuck      []bool
 	w          *tensor.Matrix // mirror of device weights for fast MVM
 	rng        *rngutil.Source
+	hook       FaultHook // optional run-time fault injector (see hooks.go)
 	Counts     OpCounts
 }
 
@@ -98,13 +99,19 @@ func NewArray(rows, cols int, model Model, cfg Config, rng *rngutil.Source) *Arr
 	}
 	devRng := rng.Child("devices")
 	faultRng := rng.Child("faults")
+	// Stuck values draw from a separate stream so that the set of stuck
+	// devices is *nested* across fault rates for a fixed seed (device i is
+	// stuck iff its private uniform draw < StuckFraction): raising the rate
+	// only ever adds faults, which keeps degradation sweeps monotone by
+	// construction.
+	valueRng := rng.Child("stuck-values")
 	lo, hi := model.WeightBounds()
 	for i := range a.dev {
 		a.dev[i] = model.New(devRng)
 		a.stuck[i] = faultRng.Bernoulli(cfg.StuckFraction)
 		a.w.Data[i] = a.dev[i].Weight()
 		if a.stuck[i] && cfg.StuckValueStd > 0 {
-			v := faultRng.Normal(0, cfg.StuckValueStd)
+			v := valueRng.Normal(0, cfg.StuckValueStd)
 			if v < lo {
 				v = lo
 			} else if v > hi {
@@ -159,15 +166,24 @@ func (a *Array) Forward(x tensor.Vector) tensor.Vector {
 	if len(x) != a.cols {
 		panic(fmt.Sprintf("crossbar: Forward expects %d inputs, got %d", a.cols, len(x)))
 	}
+	if a.hook != nil {
+		a.hook.BeginOp(a, OpForward)
+	}
 	xin := x
-	if a.cfg.DACBits > 0 {
+	if a.cfg.DACBits > 0 || a.hook != nil {
 		xin = make(tensor.Vector, len(x))
 		for j, v := range x {
 			xin[j] = quantize(v, a.cfg.DACBits, a.cfg.InputRange)
 		}
 	}
+	if a.hook != nil {
+		a.hook.FilterInput(a, OpForward, xin)
+	}
 	y := a.w.MatVec(xin)
 	a.finishRead(y)
+	if a.hook != nil {
+		a.hook.FilterOutput(a, OpForward, y)
+	}
 	a.Counts.Forwards++
 	a.Counts.DigitalMACs += int64(a.rows) * int64(a.cols)
 	return y
@@ -179,15 +195,24 @@ func (a *Array) Backward(d tensor.Vector) tensor.Vector {
 	if len(d) != a.rows {
 		panic(fmt.Sprintf("crossbar: Backward expects %d inputs, got %d", a.rows, len(d)))
 	}
+	if a.hook != nil {
+		a.hook.BeginOp(a, OpBackward)
+	}
 	din := d
-	if a.cfg.DACBits > 0 {
+	if a.cfg.DACBits > 0 || a.hook != nil {
 		din = make(tensor.Vector, len(d))
 		for i, v := range d {
 			din[i] = quantize(v, a.cfg.DACBits, a.cfg.InputRange)
 		}
 	}
+	if a.hook != nil {
+		a.hook.FilterInput(a, OpBackward, din)
+	}
 	y := a.w.MatVecT(din)
 	a.finishRead(y)
+	if a.hook != nil {
+		a.hook.FilterOutput(a, OpBackward, y)
+	}
 	a.Counts.Backwards++
 	a.Counts.DigitalMACs += int64(a.rows) * int64(a.cols)
 	return y
@@ -214,6 +239,9 @@ func (a *Array) Update(scale float64, u, v tensor.Vector) {
 	}
 	if scale == 0 {
 		return
+	}
+	if a.hook != nil {
+		a.hook.BeginOp(a, OpUpdate)
 	}
 	a.Counts.Updates++
 	a.Counts.DigitalMACs += int64(a.rows) * int64(a.cols)
@@ -308,11 +336,17 @@ func (a *Array) updateExpected(scale float64, u, v tensor.Vector) {
 	}
 }
 
-// pulse applies k pulses to device idx (skipping stuck devices) and
-// refreshes the weight mirror.
+// pulse applies k pulses to device idx (skipping stuck devices, routing
+// through the fault hook's write path) and refreshes the weight mirror.
 func (a *Array) pulse(idx, k int, up bool) {
 	if a.stuck[idx] {
 		return
+	}
+	if a.hook != nil {
+		k = a.hook.FilterPulses(a, idx/a.cols, idx%a.cols, k, up)
+		if k <= 0 {
+			return
+		}
 	}
 	a.dev[idx].Pulse(k, up, a.rng)
 	a.w.Data[idx] = a.dev[idx].Weight()
@@ -350,9 +384,18 @@ func (a *Array) AlternatePulseAll(iters int) {
 }
 
 // AdvanceTime applies dt seconds of drift/relaxation to every device that
-// models it, then refreshes the weight mirror.
+// models it, then refreshes the weight mirror. Stuck devices do not drift:
+// their conductance path is frozen, which also preserves the corrupt value
+// of StuckValueStd devices (the mirror, not the pristine device state, is
+// what they expose). A fault hook may rescale dt (accelerated aging).
 func (a *Array) AdvanceTime(dt float64) {
+	if a.hook != nil {
+		dt = a.hook.FilterAdvance(a, dt)
+	}
 	for idx, d := range a.dev {
+		if a.stuck[idx] {
+			continue
+		}
 		if dr, ok := d.(Drifter); ok {
 			dr.Drift(dt)
 			a.w.Data[idx] = d.Weight()
@@ -364,6 +407,9 @@ func (a *Array) AdvanceTime(dt float64) {
 // the PCM pair's difference-preserving reset) and refreshes the mirror.
 func (a *Array) ResetAll() {
 	for idx, d := range a.dev {
+		if a.stuck[idx] {
+			continue
+		}
 		if r, ok := d.(Resetter); ok {
 			r.Reset()
 			a.w.Data[idx] = d.Weight()
@@ -399,23 +445,98 @@ func (a *Array) StuckCount() int {
 // Program drives every device toward the corresponding target weight with
 // up/down pulses (closed-loop write-verify, maxPulses per device). It is
 // used to load externally trained weights for inference experiments.
-func (a *Array) Program(target *tensor.Matrix, maxPulses int) {
+//
+// It reports the total number of write pulses issued and the mean absolute
+// residual |w − target| over yielding devices, so that programming under
+// faults (write failures, noisy devices that fail to converge within the
+// budget) is observable instead of silently stopping at the pulse cap.
+// Stuck devices are skipped; their error is a detection/remapping problem
+// (package faults), not a programming one. See ProgramVerify for the
+// retrying variant with exponential pulse-budget backoff.
+func (a *Array) Program(target *tensor.Matrix, maxPulses int) (pulsesUsed int, residual float64) {
 	if target.Rows != a.rows || target.Cols != a.cols {
 		panic("crossbar: Program shape mismatch")
 	}
-	dw := a.model.MeanStep()
-	for idx, d := range a.dev {
+	for idx := range a.dev {
 		if a.stuck[idx] {
 			continue
 		}
-		want := target.Data[idx]
-		for p := 0; p < maxPulses; p++ {
-			diff := want - d.Weight()
-			if math.Abs(diff) < dw {
-				break
-			}
-			d.Pulse(1, diff > 0, a.rng)
-		}
-		a.w.Data[idx] = d.Weight()
+		p, _ := a.programDevice(idx, target.Data[idx], maxPulses)
+		pulsesUsed += p
 	}
+	return pulsesUsed, a.Residual(target)
+}
+
+// programDevice runs the write-verify loop on one yielding device: read,
+// compare against want, pulse toward it, stop when within one mean step or
+// when the pulse budget runs out. The controller aims at the nearest
+// representable weight — a target beyond the device bounds would otherwise
+// burn the whole budget pushing into the rail. Pulses are issued through
+// the fault-hook write path, so dropped writes consume budget — exactly the
+// closed-loop behaviour of a real programming controller. It reports pulses
+// attempted and the remaining error against the requested target.
+func (a *Array) programDevice(idx int, want float64, maxPulses int) (pulses int, err float64) {
+	dw := a.model.MeanStep()
+	aim := a.clampToBounds(want)
+	d := a.dev[idx]
+	for p := 0; p < maxPulses; p++ {
+		diff := aim - d.Weight()
+		if math.Abs(diff) < dw {
+			break
+		}
+		a.pulse(idx, 1, diff > 0)
+		pulses++
+	}
+	a.w.Data[idx] = d.Weight()
+	return pulses, math.Abs(want - d.Weight())
+}
+
+// clampToBounds limits a requested weight to the model's representable
+// range.
+func (a *Array) clampToBounds(w float64) float64 {
+	lo, hi := a.model.WeightBounds()
+	if w < lo {
+		return lo
+	}
+	if w > hi {
+		return hi
+	}
+	return w
+}
+
+// ProgramDevice runs closed-loop write-verify on the single crosspoint
+// (i, j) — the path column remapping uses to relocate one logical column
+// onto a spare. It reports pulses attempted and the remaining |error|
+// (for a stuck device: 0 pulses and the frozen value's error).
+func (a *Array) ProgramDevice(i, j int, want float64, maxPulses int) (pulses int, err float64) {
+	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
+		panic(fmt.Sprintf("crossbar: ProgramDevice index (%d,%d) out of %dx%d", i, j, a.rows, a.cols))
+	}
+	idx := i*a.cols + j
+	if a.stuck[idx] {
+		return 0, math.Abs(want - a.w.Data[idx])
+	}
+	return a.programDevice(idx, want, maxPulses)
+}
+
+// Residual reports the mean absolute weight error against target over
+// yielding (non-stuck) devices — the quantity a programming controller can
+// actually drive to zero.
+func (a *Array) Residual(target *tensor.Matrix) float64 {
+	if target.Rows != a.rows || target.Cols != a.cols {
+		panic("crossbar: Residual shape mismatch")
+	}
+	var sum float64
+	n := 0
+	for idx := range a.dev {
+		if a.stuck[idx] {
+			continue
+		}
+		sum += math.Abs(a.w.Data[idx] - target.Data[idx])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }

@@ -1,0 +1,116 @@
+package crossbar
+
+import "repro/internal/tensor"
+
+// OpKind identifies the array operation a fault hook is intercepting.
+type OpKind int
+
+// The three array cycles of Fig. 1, as seen by a FaultHook.
+const (
+	OpForward OpKind = iota
+	OpBackward
+	OpUpdate
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpForward:
+		return "forward"
+	case OpBackward:
+		return "backward"
+	case OpUpdate:
+		return "update"
+	}
+	return "op?"
+}
+
+// FaultHook intercepts array operations so that run-time fault processes —
+// devices that fail mid-training, line opens, transient read upsets,
+// dropped write pulses, accelerated aging — can be injected over an
+// array's lifetime rather than only at construction (§II-B.2; Rasch et
+// al. argue non-idealities must act *during* simulation). Package faults
+// provides the campaign engine implementation; NopHook is a convenient
+// embedding base.
+//
+// Hooks see vectors after DAC quantization (inputs) and after the full
+// read chain (outputs), i.e. at the array periphery where the physical
+// fault mechanisms live.
+type FaultHook interface {
+	// BeginOp is called once at the start of every Forward/Backward/Update;
+	// it is the lifetime clock progressive fault processes tick on.
+	BeginOp(a *Array, op OpKind)
+	// FilterInput may mutate the input vector in place (e.g. zero the
+	// entries of open column lines on a forward pass). The slice is a
+	// private copy; mutating it never aliases caller data.
+	FilterInput(a *Array, op OpKind, x tensor.Vector)
+	// FilterOutput may mutate the output vector in place (read upsets,
+	// open row lines).
+	FilterOutput(a *Array, op OpKind, y tensor.Vector)
+	// FilterPulses reports how many of the k pulses requested for device
+	// (row, col) actually land; returning 0 drops the write entirely
+	// (write failure). Called for update, programming and maintenance
+	// pulses alike — a failing write path affects them all.
+	FilterPulses(a *Array, row, col, k int, up bool) int
+	// FilterAdvance may rescale the time advanced by AdvanceTime
+	// (accelerated-aging campaigns return dt multiplied by a stress
+	// factor).
+	FilterAdvance(a *Array, dt float64) float64
+}
+
+// NopHook is a FaultHook that does nothing; embed it to implement only a
+// subset of the interface.
+type NopHook struct{}
+
+// BeginOp implements FaultHook.
+func (NopHook) BeginOp(*Array, OpKind) {}
+
+// FilterInput implements FaultHook.
+func (NopHook) FilterInput(*Array, OpKind, tensor.Vector) {}
+
+// FilterOutput implements FaultHook.
+func (NopHook) FilterOutput(*Array, OpKind, tensor.Vector) {}
+
+// FilterPulses implements FaultHook.
+func (NopHook) FilterPulses(_ *Array, _, _, k int, _ bool) int { return k }
+
+// FilterAdvance implements FaultHook.
+func (NopHook) FilterAdvance(_ *Array, dt float64) float64 { return dt }
+
+// SetFaultHook installs (or, with nil, removes) the array's fault hook.
+func (a *Array) SetFaultHook(h FaultHook) { a.hook = h }
+
+// FaultHook returns the installed hook (nil if none).
+func (a *Array) FaultHook() FaultHook { return a.hook }
+
+// Freeze marks device (i, j) stuck at its current weight — the run-time
+// "device fails mid-life" event of progressive fault campaigns. Frozen
+// devices ignore all subsequent pulses but keep contributing their last
+// weight to MVMs.
+func (a *Array) Freeze(i, j int) {
+	a.stuck[i*a.cols+j] = true
+}
+
+// FreezeAt freezes device (i, j) at weight w (clipped to the model bounds)
+// — the corrupt-device failure mode, where the post-failure conductance is
+// unrelated to the stored weight.
+func (a *Array) FreezeAt(i, j int, w float64) {
+	lo, hi := a.model.WeightBounds()
+	if w < lo {
+		w = lo
+	} else if w > hi {
+		w = hi
+	}
+	idx := i*a.cols + j
+	a.stuck[idx] = true
+	a.w.Data[idx] = w
+}
+
+// IsStuck reports whether device (i, j) is non-yielding (from fabrication
+// or a run-time failure).
+func (a *Array) IsStuck(i, j int) bool { return a.stuck[i*a.cols+j] }
+
+// DeviceWeight returns the effective weight of device (i, j) as seen by
+// MVMs (for stuck corrupt devices this is the frozen value, not the
+// underlying device state).
+func (a *Array) DeviceWeight(i, j int) float64 { return a.w.Data[i*a.cols+j] }

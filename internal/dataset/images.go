@@ -3,6 +3,7 @@ package dataset
 import (
 	"repro/internal/nn"
 	"repro/internal/rngutil"
+	"repro/internal/tensor"
 )
 
 // GlyphConfig parameterizes the Omniglot-like glyph image generator used by
@@ -49,22 +50,12 @@ func NewGlyphUniverse(cfg GlyphConfig, rng *rngutil.Source) *GlyphUniverse {
 				y += dy
 				x += dx
 			}
-			y = clampInt(y, 0, cfg.Size-1)
-			x = clampInt(x, 0, cfg.Size-1)
+			y = tensor.ClampInt(y, 0, cfg.Size-1)
+			x = tensor.ClampInt(x, 0, cfg.Size-1)
 		}
 		u.Templates = append(u.Templates, im)
 	}
 	return u
-}
-
-func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
 }
 
 // Sample renders one jittered example of class c: the template shifted by

@@ -1,0 +1,339 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analog"
+	"repro/internal/crossbar"
+	"repro/internal/dataset"
+	"repro/internal/mann"
+	"repro/internal/nn"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+	"repro/internal/xmann"
+)
+
+// Strategy selects the remediation level of a degradation sweep.
+type Strategy int
+
+// Remediation strategies, in increasing order of machinery.
+const (
+	// StrategyNone programs single-shot with a tight pulse budget and lives
+	// with whatever lands on the array.
+	StrategyNone Strategy = iota
+	// StrategyRetry adds closed-loop write-verify with bounded retry and
+	// exponential pulse-budget backoff.
+	StrategyRetry
+	// StrategyRemapRetry adds checksum-probe detection and redundant-column
+	// remapping on top of retry.
+	StrategyRemapRetry
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNone:
+		return "none"
+	case StrategyRetry:
+		return "retry"
+	case StrategyRemapRetry:
+		return "remap+retry"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// SweepConfig parameterizes the graceful-degradation sweeps. All sweeps are
+// bit-reproducible in (config, Seed).
+type SweepConfig struct {
+	Seed  uint64
+	Quick bool
+	// Rates are the stuck-fault fractions swept (ascending).
+	Rates []float64
+	// Placements is the number of independent fault placements averaged per
+	// point (common random numbers across strategies: every strategy sees
+	// the same placement seeds).
+	Placements int
+	// WriteFail is the per-pulse-train drop probability injected by the
+	// campaign engine during programming.
+	WriteFail float64
+	// Strategies compared by the analog and X-MANN sweeps.
+	Strategies []Strategy
+	// Redundancies compared by the TCAM sweep (copies per stored word).
+	Redundancies []int
+}
+
+// DefaultSweepConfig returns the campaign configuration of experiment R1.
+func DefaultSweepConfig(seed uint64, quick bool) SweepConfig {
+	cfg := SweepConfig{
+		Seed:         seed,
+		Quick:        quick,
+		Rates:        []float64{0, 0.05, 0.10, 0.20},
+		Placements:   4,
+		WriteFail:    0.25,
+		Strategies:   []Strategy{StrategyNone, StrategyRetry, StrategyRemapRetry},
+		Redundancies: []int{1, 2},
+	}
+	if quick {
+		cfg.Placements = 3
+	}
+	return cfg
+}
+
+// Point is one measured (fault rate, strategy) cell of a degradation sweep,
+// averaged over fault placements.
+type Point struct {
+	Rate     float64
+	Strategy string
+	// Accuracy is the task metric: test accuracy (analog), similarity top-1
+	// agreement with the digital reference (X-MANN), or few-shot accuracy
+	// (TCAM).
+	Accuracy float64
+	// Residual is the secondary error metric: mean programming residual
+	// (analog) or soft-read relative L2 error (X-MANN).
+	Residual float64
+	// AvgPulses, AvgReads, AvgRemapped account the remediation cost: write
+	// pulses spent programming, detection reads consumed, and logical
+	// columns relocated.
+	AvgPulses   float64
+	AvgReads    float64
+	AvgRemapped float64
+}
+
+// sweepPolicies returns the programming policies of the two write paths: a
+// tight single-shot budget for StrategyNone, the same base budget with
+// doubling retries otherwise.
+func sweepPolicies() (none, retry crossbar.ProgramPolicy) {
+	none = crossbar.ProgramPolicy{MaxPulses: 500, MaxRetries: 0}
+	retry = crossbar.ProgramPolicy{MaxPulses: 500, MaxRetries: 3}
+	return none, retry
+}
+
+// analogExpConfig mirrors the digits-MLP configuration of the crossbar
+// experiments (C1–C3) so the degradation curves are comparable to them.
+func analogExpConfig(seed uint64, quick bool) analog.ExperimentConfig {
+	cfg := analog.DefaultExperiment()
+	cfg.Seed = seed
+	if quick {
+		cfg.Data = dataset.DigitsConfig{Classes: 6, Dim: 16, PerClass: 60, Noise: 0.5, Separation: 1}
+		cfg.Hidden = []int{12}
+		cfg.Epochs = 6
+	}
+	return cfg
+}
+
+// AnalogSweep measures digits-MLP inference accuracy after programming a
+// digitally trained network onto arrays with a stuck-device fraction f
+// (corrupt-value model) under write failures, across remediation strategies
+// (§II-B.2: yield loss is the dominant analog accuracy hazard).
+func AnalogSweep(cfg SweepConfig) []Point {
+	ecfg := analogExpConfig(cfg.Seed, cfg.Quick)
+	rng := rngutil.New(ecfg.Seed)
+	ds := dataset.Digits(ecfg.Data, rng.Child("data"))
+	train, test := ds.Split(ecfg.TrainFrac)
+
+	// One digitally trained source network, shared by every sweep cell.
+	sizes := append([]int{ecfg.Data.Dim}, ecfg.Hidden...)
+	sizes = append(sizes, ecfg.Data.Classes)
+	m := nn.NewMLP(sizes, nn.TanhAct, nn.SoftmaxAct, nn.DenseFactory(rng.Child("weights")))
+	for epoch := 0; epoch < ecfg.Epochs; epoch++ {
+		for i := range train.X {
+			m.TrainStep(train.X[i], train.Y[i], ecfg.LR)
+		}
+	}
+
+	nonePol, retryPol := sweepPolicies()
+	var points []Point
+	for _, rate := range cfg.Rates {
+		arrCfg := crossbar.DefaultConfig()
+		arrCfg.StuckFraction = rate
+		// Corrupt-value faults: failed devices freeze at extreme conductances
+		// (shorts/opens map to weight extremes), the damaging §II-B.2 case.
+		arrCfg.StuckValueStd = 0.8
+		for _, strat := range cfg.Strategies {
+			var pt Point
+			pt.Rate, pt.Strategy = rate, strat.String()
+			for p := 0; p < cfg.Placements; p++ {
+				// Common random numbers: the placement seed is shared across
+				// strategies, so each strategy faces the same fault draw.
+				pseed := cfg.Seed + 1000 + 17*uint64(p)
+				engine := NewEngine(Plan{WriteFail: cfg.WriteFail}, rngutil.New(pseed).Child("engine"))
+				prng := rngutil.New(pseed)
+				switch strat {
+				case StrategyNone, StrategyRetry:
+					pol := nonePol
+					if strat == StrategyRetry {
+						pol = retryPol
+					}
+					net, _, reports := analog.ProgramToArraysVerified(m, crossbar.Ideal(), arrCfg, pol, engine.Attach, prng)
+					pt.Accuracy += net.Accuracy(test.X, test.Y)
+					for _, r := range reports {
+						pt.AvgPulses += float64(r.Pulses)
+						pt.Residual += r.Residual / float64(len(reports))
+					}
+				case StrategyRemapRetry:
+					net := &nn.MLP{}
+					for li, l := range m.Layers {
+						src := l.W.(*nn.DenseMat).M
+						spares := tensor.MaxInt(2, l.W.Cols()/4)
+						r := NewRemappedArray(l.W.Rows(), l.W.Cols(), spares, crossbar.Ideal(), arrCfg,
+							prng.Child("prog-layer").Child(string(rune('a'+li))))
+						engine.Attach(r.Arr)
+						rep := r.Program(src, retryPol)
+						fix := r.Repair(src, 0, retryPol.MaxPulses)
+						// Relocated columns get the same write-verify service
+						// as everyone else; only out-of-tolerance devices are
+						// touched, so the pass is cheap when nothing moved.
+						rep2 := r.Program(src, retryPol)
+						pt.AvgPulses += float64(rep.Pulses + fix.Pulses + rep2.Pulses)
+						pt.AvgReads += float64(fix.Diagnosis.Reads)
+						pt.AvgRemapped += float64(fix.Remapped)
+						pt.Residual += r.Residual(src) / float64(len(m.Layers))
+						net.Layers = append(net.Layers, &nn.DenseLayer{
+							In: l.In, Out: l.Out, Bias: l.Bias, Act: l.Act, W: r,
+						})
+					}
+					pt.Accuracy += net.Accuracy(test.X, test.Y)
+				}
+			}
+			n := float64(cfg.Placements)
+			pt.Accuracy /= n
+			pt.Residual /= n
+			pt.AvgPulses /= n
+			pt.AvgReads /= n
+			pt.AvgRemapped /= n
+			points = append(points, pt)
+		}
+	}
+	return points
+}
+
+// XMannSweep measures the X-MANN soft-read/similarity pipeline on
+// stuck-afflicted tiles: top-1 agreement of the crossbar similarity with the
+// digital reference, and the soft-read relative L2 error, for single-shot vs
+// write-verify-retry programming of the distributed memory.
+func XMannSweep(cfg SweepConfig) []Point {
+	M, D, tileRows, keys := 32, 16, 8, 32
+	if cfg.Quick {
+		M, D, keys = 16, 8, 16
+	}
+	const beta = 10.0
+
+	nonePol, retryPol := sweepPolicies()
+	var points []Point
+	for _, rate := range cfg.Rates {
+		arrCfg := crossbar.DefaultConfig()
+		arrCfg.StuckFraction = rate
+		arrCfg.StuckValueStd = 0.3
+		for _, strat := range cfg.Strategies {
+			if strat == StrategyRemapRetry {
+				continue // memory tiles have no spare columns in this sweep
+			}
+			pol := nonePol
+			if strat == StrategyRetry {
+				pol = retryPol
+			}
+			var pt Point
+			pt.Rate, pt.Strategy = rate, strat.String()
+			for p := 0; p < cfg.Placements; p++ {
+				pseed := cfg.Seed + 2000 + 17*uint64(p)
+				prng := rngutil.New(pseed)
+				mem := tensor.NewMatrix(M, D)
+				mr := prng.Child("memory")
+				for i := range mem.Data {
+					mem.Data[i] = mr.Float64()
+				}
+				engine := NewEngine(Plan{WriteFail: cfg.WriteFail}, rngutil.New(pseed).Child("engine"))
+				d, reports := xmann.NewDistributedMemoryOpts(mem, tileRows, xmann.MemoryOptions{
+					Cfg: &arrCfg, Policy: &pol, Attach: engine.Attach,
+				}, prng.Child("tiles"))
+				for _, r := range reports {
+					pt.AvgPulses += float64(r.Pulses)
+				}
+				kr := prng.Child("keys")
+				for k := 0; k < keys; k++ {
+					key := make(tensor.Vector, D)
+					for i := range key {
+						key[i] = kr.Float64()
+					}
+					ref := xmann.ReferenceSimilarity(mem, key, beta)
+					got := d.Similarity(key, beta)
+					if argmax(got) == argmax(ref) {
+						pt.Accuracy++
+					}
+					// Soft read with the reference attention: r = wᵀM.
+					want := make(tensor.Vector, D)
+					for i := 0; i < M; i++ {
+						for j := 0; j < D; j++ {
+							want[j] += ref[i] * mem.At(i, j)
+						}
+					}
+					pt.Residual += relL2(d.SoftRead(ref), want)
+				}
+			}
+			n := float64(cfg.Placements)
+			pt.Accuracy /= n * float64(keys)
+			pt.Residual /= n * float64(keys)
+			pt.AvgPulses /= n
+			points = append(points, pt)
+		}
+	}
+	return points
+}
+
+// TCAMSweep measures LSH/TCAM few-shot accuracy as the stuck-cell rate of
+// the TCAM array rises, with spatial redundancy (R stored copies per
+// support vector) as the remediation axis.
+func TCAMSweep(cfg SweepConfig) []Point {
+	eval := mann.EvalConfig{
+		NWay: 5, KShot: 1, NQuery: 3, Episodes: 60, MemoryEntries: 32, Seed: cfg.Seed + 1,
+	}
+	planes := 64
+	if cfg.Quick {
+		eval.Episodes = 15
+		eval.MemoryEntries = 16
+		planes = 32
+	}
+
+	var points []Point
+	for _, rate := range cfg.Rates {
+		for _, red := range cfg.Redundancies {
+			// A fresh universe per cell pairs the episode stream across all
+			// (rate, redundancy) cells: every cell faces identical tasks.
+			u := dataset.NewFewShotUniverse(dataset.DefaultFewShot(), rngutil.New(cfg.Seed))
+			capacity := eval.MemoryEntries * red
+			r := NewFaultyLSHRetriever(u.Cfg.Dim, planes, capacity, rate, red, rngutil.New(cfg.Seed+7))
+			acc := mann.EvaluateFewShot(u, r, eval)
+			points = append(points, Point{
+				Rate:     rate,
+				Strategy: fmt.Sprintf("redundancy-x%d", red),
+				Accuracy: acc,
+				AvgReads: float64(r.Searches()) / float64(eval.Episodes*eval.NWay*eval.NQuery),
+			})
+		}
+	}
+	return points
+}
+
+func argmax(v tensor.Vector) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func relL2(got, want tensor.Vector) float64 {
+	var num, den float64
+	for i := range want {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"repro/internal/perfmodel"
+	"repro/internal/tensor"
 )
 
 // Params are the architectural and circuit parameters of the accelerator.
@@ -127,7 +128,7 @@ func (a *Accelerator) SimilarityCost(m, d int) *perfmodel.Cost {
 	c := perfmodel.NewCost()
 	rt, ct := a.tiles(m, d)
 	nTiles := int64(rt) * int64(ct)
-	rowsPerTile := minInt(m, a.P.TileRows)
+	rowsPerTile := tensor.MinInt(m, a.P.TileRows)
 	a.tileOp(c, nTiles, rowsPerTile) // dot products
 	a.tileOp(c, nTiles, rowsPerTile) // L1 norms
 	// Distributed SFU: ≈4 element ops per memory row (divide, exp, scale),
@@ -150,7 +151,7 @@ func (a *Accelerator) SoftReadCost(m, d int) *perfmodel.Cost {
 	c := perfmodel.NewCost()
 	rt, ct := a.tiles(m, d)
 	nTiles := int64(rt) * int64(ct)
-	a.tileOp(c, nTiles, minInt(d, a.P.TileCols))
+	a.tileOp(c, nTiles, tensor.MinInt(d, a.P.TileCols))
 	if rt > 1 {
 		elems := int64(d) * int64(math.Ceil(math.Log2(float64(rt))))
 		c.Add("xmann.reduce", elems, a.P.ReduceEnergyPerElem, 0)
@@ -169,7 +170,7 @@ func (a *Accelerator) SoftWriteCost(m, d int) *perfmodel.Cost {
 	c.Latency += a.batches(nTiles) * a.P.UpdateLatency
 	sfuOps := int64(2 * d)
 	c.Add("xmann.sfu", sfuOps, a.P.SFUEnergyPerOp, 0)
-	c.Latency += float64(2*minInt(d, a.P.TileCols)) / a.P.SFURate
+	c.Latency += float64(2*tensor.MinInt(d, a.P.TileCols)) / a.P.SFURate
 	return c
 }
 
@@ -179,11 +180,4 @@ func (a *Accelerator) ControllerCost(macs float64) *perfmodel.Cost {
 	c.Add("xmann.ctrl-macs", int64(macs), a.P.CtrlEnergyPerMAC, 0)
 	c.Latency += macs / a.P.CtrlRate
 	return c
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

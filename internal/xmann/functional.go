@@ -27,19 +27,44 @@ type TCPT struct {
 // Soft writes use expected-pulse updates: X-MANN's writes carry full
 // attention weights, far beyond the single-train stochastic-update range.
 func NewTCPT(rows, cols int, rng *rngutil.Source) *TCPT {
-	cfg := crossbar.DefaultConfig()
-	cfg.Update = crossbar.UpdateExpected
-	return &TCPT{arr: crossbar.NewArray(rows, cols, crossbar.Ideal(), cfg, rng)}
+	return NewTCPTWith(rows, cols, crossbar.Ideal(), crossbar.DefaultConfig(), rng)
 }
 
-// Program writes the memory contents (non-negative) into the tile.
-func (t *TCPT) Program(m *tensor.Matrix) {
+// NewTCPTWith builds a tile on an explicit device model and array config —
+// the entry point fault campaigns use to study X-MANN's soft read/write
+// pipeline on imperfect arrays. The update mode is forced to
+// expected-pulse, as X-MANN writes require.
+func NewTCPTWith(rows, cols int, model crossbar.Model, cfg crossbar.Config, rng *rngutil.Source) *TCPT {
+	cfg.Update = crossbar.UpdateExpected
+	return &TCPT{arr: crossbar.NewArray(rows, cols, model, cfg, rng)}
+}
+
+// Array exposes the underlying crossbar so campaign engines can attach
+// fault hooks to the tile.
+func (t *TCPT) Array() *crossbar.Array { return t.arr }
+
+// Program writes the memory contents (non-negative) into the tile,
+// reporting write pulses used and the mean absolute residual so that
+// programming under faults is observable.
+func (t *TCPT) Program(m *tensor.Matrix) (pulses int, residual float64) {
+	checkNonNegative(m)
+	return t.arr.Program(m, 8000)
+}
+
+// ProgramVerify writes the memory contents with bounded retry and
+// exponential pulse-budget backoff — the remediated write path of the
+// fault-resilience study.
+func (t *TCPT) ProgramVerify(m *tensor.Matrix, pol crossbar.ProgramPolicy) crossbar.ProgramReport {
+	checkNonNegative(m)
+	return t.arr.ProgramVerify(m, pol)
+}
+
+func checkNonNegative(m *tensor.Matrix) {
 	for _, v := range m.Data {
 		if v < 0 {
 			panic("xmann: TCPT memory values must be non-negative")
 		}
 	}
-	t.arr.Program(m, 8000)
 }
 
 // DotProducts applies the key along the columns and reads the per-row
@@ -74,13 +99,46 @@ type DistributedMemory struct {
 	Tiles    []*TCPT
 }
 
+// MemoryOptions configures how a DistributedMemory's tiles are built and
+// programmed; the zero value reproduces the legacy ideal-device behaviour.
+type MemoryOptions struct {
+	// Model is the device model (nil = crossbar.Ideal()).
+	Model crossbar.Model
+	// Cfg is the array config (nil = crossbar.DefaultConfig()); the update
+	// mode is forced to expected-pulse either way.
+	Cfg *crossbar.Config
+	// Policy selects write-verify-retry programming (nil = the legacy
+	// single-shot 8000-pulse budget).
+	Policy *crossbar.ProgramPolicy
+	// Attach, if non-nil, is called with each tile's array before
+	// programming — the hook point campaign engines use.
+	Attach func(*crossbar.Array)
+}
+
 // NewDistributedMemory programs the memory matrix across ceil(M/tileRows)
-// tiles.
+// ideal tiles.
 func NewDistributedMemory(mem *tensor.Matrix, tileRows int, rng *rngutil.Source) *DistributedMemory {
+	d, _ := NewDistributedMemoryOpts(mem, tileRows, MemoryOptions{}, rng)
+	return d
+}
+
+// NewDistributedMemoryOpts programs the memory across tiles per opts and
+// reports per-tile programming outcomes (residuals under faults are the
+// observable the resilience harness asserts on).
+func NewDistributedMemoryOpts(mem *tensor.Matrix, tileRows int, opts MemoryOptions, rng *rngutil.Source) (*DistributedMemory, []crossbar.ProgramReport) {
 	if tileRows <= 0 {
 		panic("xmann: tileRows must be positive")
 	}
+	model := opts.Model
+	if model == nil {
+		model = crossbar.Ideal()
+	}
+	cfg := crossbar.DefaultConfig()
+	if opts.Cfg != nil {
+		cfg = *opts.Cfg
+	}
 	d := &DistributedMemory{M: mem.Rows, D: mem.Cols, TileRows: tileRows}
+	var reports []crossbar.ProgramReport
 	for start := 0; start < mem.Rows; start += tileRows {
 		end := start + tileRows
 		if end > mem.Rows {
@@ -88,11 +146,19 @@ func NewDistributedMemory(mem *tensor.Matrix, tileRows int, rng *rngutil.Source)
 		}
 		sub := tensor.NewMatrix(end-start, mem.Cols)
 		copy(sub.Data, mem.Data[start*mem.Cols:end*mem.Cols])
-		tile := NewTCPT(end-start, mem.Cols, rng.Child(fmt.Sprintf("tile%d", start)))
-		tile.Program(sub)
+		tile := NewTCPTWith(end-start, mem.Cols, model, cfg, rng.Child(fmt.Sprintf("tile%d", start)))
+		if opts.Attach != nil {
+			opts.Attach(tile.arr)
+		}
+		if opts.Policy != nil {
+			reports = append(reports, tile.ProgramVerify(sub, *opts.Policy))
+		} else {
+			pulses, residual := tile.Program(sub)
+			reports = append(reports, crossbar.ProgramReport{Rounds: 1, Pulses: pulses, Residual: residual})
+		}
 		d.Tiles = append(d.Tiles, tile)
 	}
-	return d
+	return d, reports
 }
 
 // Similarity computes the attention distribution over all memory rows with
