@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check campaign
+.PHONY: all build vet test race check campaign serve-campaign
 
 all: check
 
@@ -22,3 +22,7 @@ check: vet build race
 # Regenerate the R1 fault-campaign tables (full size, fixed seed).
 campaign:
 	$(GO) run ./cmd/fault-campaign -seed 1234
+
+# Regenerate the R2 self-healing service tables (full size, fixed seed).
+serve-campaign:
+	$(GO) run ./cmd/serve-campaign -seed 1234

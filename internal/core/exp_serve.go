@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/serve"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "R2",
+		Title: "Self-healing inference service: goodput and accuracy under live fault injection (§II-B, §IV-B.2)",
+		PaperClaim: "device non-idealities accumulate during deployment, not just at programming time; " +
+			"a serving layer with retry, hedging, and online recalibration sustains goodput and " +
+			"accuracy where an unprotected service degrades",
+		Run: runR2,
+	})
+}
+
+func runR2(w io.Writer, seed uint64, quick bool) error {
+	cfg := serve.DefaultCampaignConfig(seed, quick)
+	fmt.Fprintf(w, "open-loop Poisson load: %.0f req/s for %.1fs virtual, %d replicas, deadline %.1fms\n",
+		cfg.Rate, cfg.Duration, cfg.Replicas, cfg.Policies[0].Deadline*1e3)
+	fmt.Fprintf(w, "policies: none (no remediation), retry (verify reads + backoff), self-heal (full stack)\n\n")
+	fmt.Fprint(w, serve.FormatTable("analog digits MLP (PCM devices)", serve.MLPCampaign(cfg)))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, serve.FormatTable("X-MANN distributed memory", serve.XMannCampaign(cfg)))
+	return nil
+}

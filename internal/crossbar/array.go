@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
@@ -73,6 +74,15 @@ type OpCounts struct {
 // Array is a crossbar of devices implementing the nn.Mat contract: forward
 // MVM along rows, backward (transposed) MVM along columns, and the parallel
 // rank-1 pulse update.
+//
+// Concurrency contract: an Array is single-writer. Every operation — reads
+// included, since Forward/Backward consume the array's random stream and
+// advance op counters and hook state — must be serialized by the caller
+// (the tile has one set of peripheral drivers; two simultaneous operations
+// have no physical meaning). A background reprogrammer therefore may not
+// race a serving read: hand ownership off explicitly, e.g. with the
+// per-replica mutex of internal/serve.Replica. The guard below turns a
+// violated contract into an immediate panic instead of a silent data race.
 type Array struct {
 	rows, cols int
 	cfg        Config
@@ -82,6 +92,7 @@ type Array struct {
 	w          *tensor.Matrix // mirror of device weights for fast MVM
 	rng        *rngutil.Source
 	hook       FaultHook // optional run-time fault injector (see hooks.go)
+	busy       atomic.Int32
 	Counts     OpCounts
 }
 
@@ -123,6 +134,19 @@ func NewArray(rows, cols int, model Model, cfg Config, rng *rngutil.Source) *Arr
 	return a
 }
 
+// acquire claims the array periphery for one externally driven operation,
+// panicking if another goroutine is already inside — the fail-fast
+// enforcement of the single-writer contract (see the Array doc comment).
+// Hook callbacks that reenter the array mid-operation (AdvanceTime, Freeze,
+// FreezeAt) are intentionally unguarded: they run inside an acquired op.
+func (a *Array) acquire() {
+	if !a.busy.CompareAndSwap(0, 1) {
+		panic("crossbar: concurrent Array access — the array is single-writer; serialize callers (see internal/serve.Replica)")
+	}
+}
+
+func (a *Array) release() { a.busy.Store(0) }
+
 // Rows implements nn.Mat.
 func (a *Array) Rows() int { return a.rows }
 
@@ -163,6 +187,8 @@ func (a *Array) irFactor() float64 {
 // Forward implements nn.Mat: one analog MVM y = W·x with DAC quantization,
 // read noise, IR-drop attenuation, and ADC quantization.
 func (a *Array) Forward(x tensor.Vector) tensor.Vector {
+	a.acquire()
+	defer a.release()
 	if len(x) != a.cols {
 		panic(fmt.Sprintf("crossbar: Forward expects %d inputs, got %d", a.cols, len(x)))
 	}
@@ -192,6 +218,8 @@ func (a *Array) Forward(x tensor.Vector) tensor.Vector {
 // Backward implements nn.Mat: the transposed MVM yᵀ = Wᵀ·d obtained by
 // swapping the roles of rows and columns at the periphery.
 func (a *Array) Backward(d tensor.Vector) tensor.Vector {
+	a.acquire()
+	defer a.release()
 	if len(d) != a.rows {
 		panic(fmt.Sprintf("crossbar: Backward expects %d inputs, got %d", a.rows, len(d)))
 	}
@@ -234,6 +262,8 @@ func (a *Array) finishRead(y tensor.Vector) {
 // Update implements nn.Mat: W += scale·(u ⊗ v) in expectation, realized with
 // device pulses per the configured update mode.
 func (a *Array) Update(scale float64, u, v tensor.Vector) {
+	a.acquire()
+	defer a.release()
 	if len(u) != a.rows || len(v) != a.cols {
 		panic(fmt.Sprintf("crossbar: Update shape mismatch %dx%d vs %dx%d", a.rows, a.cols, len(u), len(v)))
 	}
@@ -358,6 +388,8 @@ func (a *Array) pulse(idx, k int, up bool) {
 // mixed-precision trainers, where the digital controller addresses one
 // crosspoint at a time.
 func (a *Array) UpdateDeviceExact(i, j, k int, up bool) {
+	a.acquire()
+	defer a.release()
 	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
 		panic(fmt.Sprintf("crossbar: UpdateDeviceExact index (%d,%d) out of %dx%d", i, j, a.rows, a.cols))
 	}
@@ -368,6 +400,12 @@ func (a *Array) UpdateDeviceExact(i, j, k int, up bool) {
 // "all-ones" parallel pulsing used for symmetry-point programming and for
 // the Fig. 2 potentiation/depression traces.
 func (a *Array) PulseAll(n int, up bool) {
+	a.acquire()
+	defer a.release()
+	a.pulseAll(n, up)
+}
+
+func (a *Array) pulseAll(n int, up bool) {
 	for idx := range a.dev {
 		a.pulse(idx, n, up)
 	}
@@ -377,9 +415,11 @@ func (a *Array) PulseAll(n int, up bool) {
 // every device, driving each toward its symmetry point — the zero-shifting
 // programming step of §II-B.5.
 func (a *Array) AlternatePulseAll(iters int) {
+	a.acquire()
+	defer a.release()
 	for it := 0; it < iters; it++ {
-		a.PulseAll(1, true)
-		a.PulseAll(1, false)
+		a.pulseAll(1, true)
+		a.pulseAll(1, false)
 	}
 }
 
@@ -406,6 +446,8 @@ func (a *Array) AdvanceTime(dt float64) {
 // ResetAll invokes the refresh operation on every resettable device (e.g.
 // the PCM pair's difference-preserving reset) and refreshes the mirror.
 func (a *Array) ResetAll() {
+	a.acquire()
+	defer a.release()
 	for idx, d := range a.dev {
 		if a.stuck[idx] {
 			continue
@@ -453,7 +495,17 @@ func (a *Array) StuckCount() int {
 // Stuck devices are skipped; their error is a detection/remapping problem
 // (package faults), not a programming one. See ProgramVerify for the
 // retrying variant with exponential pulse-budget backoff.
+//
+// Program takes exclusive ownership of the array for the whole pass (the
+// single-writer contract of the Array doc comment): a serving read
+// interleaved with reprogramming would observe half-written weights and,
+// worse, race on the weight mirror. Callers that reprogram in the
+// background must hold the same lock their readers use — see
+// internal/serve.Replica for the ownership-handoff pattern and its -race
+// hammer test.
 func (a *Array) Program(target *tensor.Matrix, maxPulses int) (pulsesUsed int, residual float64) {
+	a.acquire()
+	defer a.release()
 	if target.Rows != a.rows || target.Cols != a.cols {
 		panic("crossbar: Program shape mismatch")
 	}
@@ -509,6 +561,8 @@ func (a *Array) clampToBounds(w float64) float64 {
 // onto a spare. It reports pulses attempted and the remaining |error|
 // (for a stuck device: 0 pulses and the frozen value's error).
 func (a *Array) ProgramDevice(i, j int, want float64, maxPulses int) (pulses int, err float64) {
+	a.acquire()
+	defer a.release()
 	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
 		panic(fmt.Sprintf("crossbar: ProgramDevice index (%d,%d) out of %dx%d", i, j, a.rows, a.cols))
 	}

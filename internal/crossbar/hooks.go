@@ -36,6 +36,15 @@ func (k OpKind) String() string {
 // Hooks see vectors after DAC quantization (inputs) and after the full
 // read chain (outputs), i.e. at the array periphery where the physical
 // fault mechanisms live.
+//
+// Ordering guarantee: within one array operation the hook is called in a
+// fixed sequence — for reads, BeginOp then FilterInput then FilterOutput;
+// for updates, BeginOp then zero or more FilterPulses — with no
+// interleaving from other operations on the same array, because Array is
+// single-writer.
+// A hook shared by arrays driven from different goroutines must synchronize
+// its own internal state; the per-array call sequence remains well-formed
+// either way. See TestFaultHookOrdering.
 type FaultHook interface {
 	// BeginOp is called once at the start of every Forward/Backward/Update;
 	// it is the lifetime clock progressive fault processes tick on.

@@ -60,7 +60,13 @@ func (r ProgramReport) Converged() bool { return r.Failed == 0 }
 // write path of the fault-resilience study: under write failures or
 // cycle-to-cycle noise, single-shot Program leaves stragglers that the
 // retry rounds recover.
+//
+// Like Program, it owns the array exclusively for the whole multi-round
+// pass (single-writer contract): a background recalibrator must hold the
+// same lock its serving readers use, never interleave with them.
 func (a *Array) ProgramVerify(target *tensor.Matrix, pol ProgramPolicy) ProgramReport {
+	a.acquire()
+	defer a.release()
 	if target.Rows != a.rows || target.Cols != a.cols {
 		panic("crossbar: ProgramVerify shape mismatch")
 	}

@@ -85,8 +85,14 @@ type arrayState struct {
 // Engine is a seeded fault campaign bound to one or more arrays via
 // crossbar.SetFaultHook. One engine may drive several arrays (a session's
 // layers); the fault history is deterministic in (Plan, seed, call order).
+//
+// An Engine is not safe for concurrent use: it shares one random stream and
+// one state map across its arrays. Arrays served from different goroutines
+// (replicas in internal/serve) must each get their own engine — Clone
+// hands out identical-schedule engines for exactly that purpose.
 type Engine struct {
 	plan  Plan
+	seed  uint64 // derived stream seed, kept so Clone/Reset can rewind it
 	rng   *rngutil.Source
 	stats Stats
 	state map[*crossbar.Array]*arrayState
@@ -94,7 +100,29 @@ type Engine struct {
 
 // NewEngine builds a campaign engine for plan, seeded by rng.
 func NewEngine(plan Plan, rng *rngutil.Source) *Engine {
-	return &Engine{plan: plan, rng: rng.Child("campaign"), state: map[*crossbar.Array]*arrayState{}}
+	r := rng.Child("campaign")
+	return &Engine{plan: plan, seed: r.Seed(), rng: r, state: map[*crossbar.Array]*arrayState{}}
+}
+
+// Clone returns a fresh engine with the same plan and the same random
+// stream rewound to the start: driven through an identical op sequence, the
+// clone injects a bit-identical fault history. Policy sweeps use it to
+// replay one campaign schedule across arms (and to give each concurrently
+// served replica its own engine) without rebuilding the campaign by hand.
+// The clone tracks no arrays until attached.
+func (e *Engine) Clone() *Engine {
+	return &Engine{plan: e.plan, seed: e.seed, rng: rngutil.New(e.seed), state: map[*crossbar.Array]*arrayState{}}
+}
+
+// Reset rewinds the engine to its initial state: zeroed stats, forgotten
+// line-open state, and the random stream rewound to the start, so the same
+// schedule replays without drift in the random stream. Faults already
+// frozen into attached arrays are not undone — rebuild the arrays (the
+// sweep arms do) to replay a campaign from scratch.
+func (e *Engine) Reset() {
+	e.rng = rngutil.New(e.seed)
+	e.stats = Stats{}
+	e.state = map[*crossbar.Array]*arrayState{}
 }
 
 // Attach installs the engine as a's fault hook and begins tracking it.

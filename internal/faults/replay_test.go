@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/crossbar"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// driveOps runs a fixed op sequence against a fresh array attached to e and
+// returns the resulting fault counters plus the final weight snapshot.
+func driveOps(e *Engine, arraySeed uint64) (Stats, *tensor.Matrix) {
+	a := crossbar.NewArray(8, 6, crossbar.Ideal(), crossbar.DefaultConfig(), rngutil.New(arraySeed))
+	e.Attach(a)
+	rng := rngutil.New(arraySeed + 1)
+	x := make(tensor.Vector, a.Cols())
+	d := make(tensor.Vector, a.Rows())
+	for it := 0; it < 300; it++ {
+		for j := range x {
+			x[j] = rng.Uniform(-1, 1)
+		}
+		for j := range d {
+			d[j] = rng.Uniform(-1, 1)
+		}
+		a.Forward(x)
+		a.Backward(d)
+		a.Update(0.05, d, x)
+	}
+	return e.Stats(), a.Weights()
+}
+
+func sameStats(a, b Stats) bool { return a == b }
+
+// TestEngineCloneReplaysSchedule is the property policy sweeps rely on: a
+// cloned engine driven through the same op sequence injects a bit-identical
+// fault history, without rebuilding the campaign by hand.
+func TestEngineCloneReplaysSchedule(t *testing.T) {
+	plan := Plan{
+		StuckPerOp:      0.02,
+		StuckValueStd:   0.5,
+		ReadUpset:       0.01,
+		UpsetMag:        1.0,
+		WriteFail:       0.1,
+		LineOpenPerOp:   0.002,
+		DriftBurstEvery: 97,
+		DriftBurstDt:    3,
+	}
+	base := NewEngine(plan, rngutil.New(42))
+	clone := base.Clone() // cloned BEFORE base consumes its stream
+
+	s1, w1 := driveOps(base, 7)
+	s2, w2 := driveOps(clone, 7)
+	if !sameStats(s1, s2) {
+		t.Fatalf("clone stats diverged:\nbase  %+v\nclone %+v", s1, s2)
+	}
+	if s1.StuckInjected == 0 || s1.Upsets == 0 || s1.DroppedWrites == 0 {
+		t.Fatalf("campaign too quiet to be a meaningful replay check: %+v", s1)
+	}
+	for i := range w1.Data {
+		if w1.Data[i] != w2.Data[i] {
+			t.Fatalf("weight %d diverged: %g vs %g", i, w1.Data[i], w2.Data[i])
+		}
+	}
+
+	// A clone taken AFTER the base ran must still replay from the start:
+	// the stream rewinds to construction, not to the current position.
+	late := base.Clone()
+	s3, w3 := driveOps(late, 7)
+	if !sameStats(s1, s3) {
+		t.Fatalf("late clone stats diverged:\nbase %+v\nlate %+v", s1, s3)
+	}
+	for i := range w1.Data {
+		if w1.Data[i] != w3.Data[i] {
+			t.Fatalf("late-clone weight %d diverged: %g vs %g", i, w1.Data[i], w3.Data[i])
+		}
+	}
+}
+
+// TestEngineResetRewindsStream checks Reset: zeroed stats, forgotten line
+// state, and the identical fault history on a rebuilt array.
+func TestEngineResetRewindsStream(t *testing.T) {
+	plan := Plan{StuckPerOp: 0.03, ReadUpset: 0.02, UpsetMag: 0.5, LineOpenPerOp: 0.005}
+	e := NewEngine(plan, rngutil.New(9))
+	s1, w1 := driveOps(e, 11)
+
+	e.Reset()
+	if got := e.Stats(); got != (Stats{}) {
+		t.Fatalf("Reset left stats %+v", got)
+	}
+	s2, w2 := driveOps(e, 11)
+	if !sameStats(s1, s2) {
+		t.Fatalf("replay after Reset diverged:\nfirst  %+v\nsecond %+v", s1, s2)
+	}
+	for i := range w1.Data {
+		if w1.Data[i] != w2.Data[i] {
+			t.Fatalf("weight %d diverged after Reset: %g vs %g", i, w1.Data[i], w2.Data[i])
+		}
+	}
+}

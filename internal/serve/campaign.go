@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/nn"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+	"repro/internal/xmann"
+)
+
+// CampaignConfig parameterizes experiment R2: open-loop Poisson load
+// against a replicated analog pipeline under progressive fault injection,
+// compared across serving policies. Bit-reproducible in (config, Seed).
+type CampaignConfig struct {
+	Seed  uint64
+	Quick bool
+	// Replicas is the tile-group pool size.
+	Replicas int
+	// Levels are the fault-intensity multipliers swept (0 = fault-free).
+	Levels []float64
+	// Duration (virtual seconds) and Rate (requests/s) shape the load.
+	Duration float64
+	Rate     float64
+	Lat      LatencyModel
+	// Policies are the arms; every arm faces a cloned fault schedule and
+	// the same arrival/latency draws (common random numbers).
+	Policies []Policy
+}
+
+// DefaultCampaignConfig returns the R2 configuration.
+func DefaultCampaignConfig(seed uint64, quick bool) CampaignConfig {
+	c := CampaignConfig{
+		Seed:     seed,
+		Quick:    quick,
+		Replicas: 3,
+		Levels:   []float64{0, 0.5, 1, 2},
+		Duration: 3.0,
+		Rate:     600,
+		Lat:      DefaultLatencyModel(),
+		Policies: []Policy{PolicyNone(), PolicyRetry(), PolicyFull()},
+	}
+	if quick {
+		c.Levels = []float64{0, 1, 2}
+		c.Duration = 1.0
+		c.Rate = 300
+	}
+	return c
+}
+
+// planAt scales the R2 fault processes by the level multiplier for a
+// typical replica. The mix is chosen so every remediation layer has work:
+// read upsets feed the verify-retry path, mild progressive stuck-at and
+// drift bursts feed the canary/recalibration loop, write failures tax
+// recalibration itself.
+func planAt(level float64) faults.Plan {
+	if level <= 0 {
+		return faults.Plan{}
+	}
+	return faults.Plan{
+		StuckPerOp:      0.004 * level,
+		StuckValueStd:   0.6,
+		ReadUpset:       0.004 * level,
+		UpsetMag:        1.8,
+		WriteFail:       0.04 * level,
+		LineOpenPerOp:   0.0003 * level,
+		DriftBurstEvery: 150,
+		DriftBurstDt:    6 * level,
+	}
+}
+
+// lemonPlanAt is the fault corner of the pool's worst tile group: the same
+// transient environment as planAt but an order of magnitude more
+// progressive stuck-at damage and line opens. Real deployments see exactly
+// this process spread across tile groups; the serving question R2 asks is
+// whether the runtime notices the lemon and routes around it, or keeps
+// handing it a third of the traffic.
+func lemonPlanAt(level float64) faults.Plan {
+	p := planAt(level)
+	if level <= 0 {
+		return p
+	}
+	p.StuckPerOp = 0.08 * level
+	p.StuckValueStd = 0.8
+	p.LineOpenPerOp = 0.012 * level
+	return p
+}
+
+// campaignEngines derives one base fault engine per replica for a level;
+// replica 0 is the lemon. Arms clone them, so every arm's replica i
+// replays the identical fault schedule.
+func campaignEngines(cfg CampaignConfig, levelIdx int, level float64) []*faults.Engine {
+	var bases []*faults.Engine
+	for r := 0; r < cfg.Replicas; r++ {
+		plan := planAt(level)
+		if r == 0 {
+			plan = lemonPlanAt(level)
+		}
+		bases = append(bases, faults.NewEngine(plan,
+			rngutil.New(cfg.Seed+7919*uint64(levelIdx+1)+31*uint64(r))))
+	}
+	return bases
+}
+
+// MLPCampaign runs R2 against the analog digits MLP: a digitally trained
+// golden network served from PCM-device replica pipelines.
+func MLPCampaign(cfg CampaignConfig) []ArmResult {
+	rng := rngutil.New(cfg.Seed)
+	dcfg := dataset.DigitsConfig{Classes: 6, Dim: 16, PerClass: 80, Noise: 0.5, Separation: 1}
+	ds := dataset.Digits(dcfg, rng.Child("data"))
+	train, test := ds.Split(0.75)
+
+	golden := nn.NewMLP([]int{dcfg.Dim, 12, dcfg.Classes}, nn.TanhAct, nn.SoftmaxAct,
+		nn.DenseFactory(rng.Child("weights")))
+	for epoch := 0; epoch < 8; epoch++ {
+		for i := range train.X {
+			golden.TrainStep(train.X[i], train.Y[i], 0.05)
+		}
+	}
+
+	var reqs []SimRequest
+	for i := range test.X {
+		reqs = append(reqs, SimRequest{X: test.X[i], Want: test.Y[i]})
+	}
+	canaryX := train.X[:8]
+	fallback := func(x tensor.Vector) tensor.Vector { return golden.Forward(x).Clone() }
+	pcfg := DefaultMLPPipelineConfig()
+
+	var results []ArmResult
+	for li, level := range cfg.Levels {
+		bases := campaignEngines(cfg, li, level)
+		for _, pol := range cfg.Policies {
+			var reps []*Replica
+			for r := 0; r < cfg.Replicas; r++ {
+				eng := bases[r].Clone()
+				pipe := NewMLPPipeline(golden, canaryX, pcfg, eng.Attach,
+					rngutil.New(cfg.Seed+101*uint64(r)+13))
+				reps = append(reps, NewReplica(r, pipe, pol))
+			}
+			m := RunSim(SimConfig{
+				Policy:   pol,
+				Lat:      cfg.Lat,
+				Duration: cfg.Duration,
+				Rate:     cfg.Rate,
+				Requests: reqs,
+				Fallback: fallback,
+				RNG:      rngutil.New(cfg.Seed + 104729*uint64(li+1)),
+			}, reps)
+			results = append(results, ArmResult{Policy: pol.Name, Level: level, M: m})
+		}
+	}
+	return results
+}
+
+// XMannCampaign runs R2 against the X-MANN differentiable memory: attention
+// queries over a distributed memory served from transposable-tile replica
+// pipelines, graded against xmann.ReferenceSimilarity.
+func XMannCampaign(cfg CampaignConfig) []ArmResult {
+	xcfg := DefaultXMannPipelineConfig()
+	M, D, keyCount := 32, 16, 64
+	if cfg.Quick {
+		M, D, keyCount = 16, 8, 32
+	}
+	rng := rngutil.New(cfg.Seed + 5)
+	mem := tensor.NewMatrix(M, D)
+	mr := rng.Child("memory")
+	for i := range mem.Data {
+		mem.Data[i] = mr.Float64()
+	}
+
+	kr := rng.Child("keys")
+	var reqs []SimRequest
+	for k := 0; k < keyCount; k++ {
+		key := make(tensor.Vector, D)
+		for i := range key {
+			key[i] = kr.Float64()
+		}
+		ref := xmann.ReferenceSimilarity(mem, key, xcfg.Beta)
+		reqs = append(reqs, SimRequest{X: key, Want: ref.ArgMax()})
+	}
+	canaryK := make([]tensor.Vector, 0, 8)
+	cr := rng.Child("canary")
+	for k := 0; k < 8; k++ {
+		key := make(tensor.Vector, D)
+		for i := range key {
+			key[i] = cr.Float64()
+		}
+		canaryK = append(canaryK, key)
+	}
+	fallback := func(k tensor.Vector) tensor.Vector {
+		return xmann.ReferenceSimilarity(mem, k, xcfg.Beta)
+	}
+
+	var results []ArmResult
+	for li, level := range cfg.Levels {
+		bases := campaignEngines(cfg, li, level)
+		for _, pol := range cfg.Policies {
+			var reps []*Replica
+			for r := 0; r < cfg.Replicas; r++ {
+				eng := bases[r].Clone()
+				pipe := NewXMannPipeline(mem, canaryK, xcfg, eng.Attach,
+					rngutil.New(cfg.Seed+211*uint64(r)+29))
+				reps = append(reps, NewReplica(r, pipe, pol))
+			}
+			m := RunSim(SimConfig{
+				Policy:   pol,
+				Lat:      cfg.Lat,
+				Duration: cfg.Duration,
+				Rate:     cfg.Rate,
+				Requests: reqs,
+				Fallback: fallback,
+				RNG:      rngutil.New(cfg.Seed + 130363*uint64(li+1)),
+			}, reps)
+			results = append(results, ArmResult{Policy: pol.Name, Level: level, M: m})
+		}
+	}
+	return results
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metrics is the per-arm accounting of one campaign run. Counters are in
+// requests unless noted.
+type Metrics struct {
+	// Offered is the total arrival count; Shed were rejected at a full
+	// queue; Expired missed their deadline before completing (in queue or
+	// mid-retry); Late completed after their deadline; Unavailable found no
+	// replica and no fallback.
+	Offered, Shed, Expired, Late, Unavailable int
+	// Completed requests returned a result; Correct of those matched the
+	// digital reference label; Good completed on time AND correct.
+	Completed, Correct, Good int
+	// Remediation activity. Readmits counts quarantined replicas returned
+	// to rotation after a clean post-recalibration canary.
+	Retries, Hedges, Recals, Fallbacks, Quarantines, Readmits int
+
+	latencies []float64 // completion latencies, seconds
+}
+
+// Goodput is the fraction of offered requests answered on time and
+// correctly — the headline number of R2.
+func (m *Metrics) Goodput() float64 {
+	if m.Offered == 0 {
+		return 0
+	}
+	return float64(m.Good) / float64(m.Offered)
+}
+
+// Accuracy is the fraction of completed requests answered correctly.
+func (m *Metrics) Accuracy() float64 {
+	if m.Completed == 0 {
+		return 0
+	}
+	return float64(m.Correct) / float64(m.Completed)
+}
+
+// MissRate is the fraction of offered requests that missed their deadline
+// one way or another: shed, expired, completed late, or unservable.
+func (m *Metrics) MissRate() float64 {
+	if m.Offered == 0 {
+		return 0
+	}
+	return float64(m.Shed+m.Expired+m.Late+m.Unavailable) / float64(m.Offered)
+}
+
+// LatencyQuantile reports the q-th completion-latency quantile in seconds
+// (0 when nothing completed).
+func (m *Metrics) LatencyQuantile(q float64) float64 {
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	s := make([]float64, len(m.latencies))
+	copy(s, m.latencies)
+	sort.Float64s(s)
+	k := int(q * float64(len(s)-1))
+	if k < 0 {
+		k = 0
+	} else if k >= len(s) {
+		k = len(s) - 1
+	}
+	return s[k]
+}
+
+// ArmResult is one (policy, fault level) cell of the campaign table.
+type ArmResult struct {
+	Policy string
+	Level  float64
+	M      Metrics
+}
+
+// FormatTable renders one pipeline's campaign results as the fixed-width
+// deterministic table the R2 acceptance criterion pins: goodput, latency
+// quantiles, deadline-miss rate, and accuracy-under-fire for every arm at
+// every fault level.
+func FormatTable(title string, results []ArmResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "%-10s %6s %9s %9s %9s %9s %9s %6s %6s %6s %6s %6s\n",
+		"policy", "level", "goodput", "p50ms", "p99ms", "miss", "acc",
+		"retry", "hedge", "quar", "recal", "fback")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %6.2f %9.4f %9.3f %9.3f %9.4f %9.4f %6d %6d %6d %6d %6d\n",
+			r.Policy, r.Level,
+			r.M.Goodput(),
+			r.M.LatencyQuantile(0.50)*1e3,
+			r.M.LatencyQuantile(0.99)*1e3,
+			r.M.MissRate(),
+			r.M.Accuracy(),
+			r.M.Retries, r.M.Hedges, r.M.Quarantines, r.M.Recals, r.M.Fallbacks)
+	}
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/crossbar"
+	"repro/internal/faults"
+	"repro/internal/nn"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// Pipeline is one replica's inference hardware: a replicated tile group
+// holding a copy of the served model's golden weights, plus the
+// maintenance operations the self-healing runtime needs. Implementations
+// are NOT safe for concurrent use — the owning Replica serializes access
+// (the crossbar single-writer contract).
+type Pipeline interface {
+	// Infer runs one inference. With verify set it reads twice (temporal
+	// redundancy) and reports ok=false when the two reads diverge — the
+	// signature of a transient upset rather than a persistent fault.
+	Infer(x tensor.Vector, verify bool) (y tensor.Vector, ok bool)
+	// CanaryDivergence replays the golden canary vectors and returns the
+	// fraction whose outputs diverged from the known digital references.
+	CanaryDivergence() float64
+	// Recalibrate re-programs the replica from its golden weights
+	// (write-verify retry, plus detect/remap where spares exist) and
+	// reports the cost.
+	Recalibrate() RecalStats
+}
+
+// RecalStats is the cost of one background recalibration pass.
+type RecalStats struct {
+	// Pulses is the total write pulses issued re-programming the tiles.
+	Pulses int
+	// DetectReads is the array reads consumed by checksum-probe detection.
+	DetectReads int
+	// Remapped is the number of logical columns relocated onto spares.
+	Remapped int
+	// Residual is the mean post-recalibration programming residual.
+	Residual float64
+}
+
+func (s *RecalStats) add(o RecalStats) {
+	s.Pulses += o.Pulses
+	s.DetectReads += o.DetectReads
+	s.Remapped += o.Remapped
+	s.Residual += o.Residual
+}
+
+// relL2 is the relative L2 distance ‖got−want‖/‖want‖ (0 when want = 0).
+func relL2(got, want tensor.Vector) float64 {
+	var num, den float64
+	for i := range want {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+// MLPPipelineConfig parameterizes one analog MLP replica.
+type MLPPipelineConfig struct {
+	// Model is the device technology (e.g. crossbar.PCM() for the drift
+	// study); Array the periphery configuration.
+	Model crossbar.Model
+	Array crossbar.Config
+	// Prog is the write-verify policy for programming and recalibration.
+	Prog crossbar.ProgramPolicy
+	// SpareCols gives each layer max(2, cols*SpareCols) redundant columns
+	// for remapping; 0 keeps the default 1/4.
+	SpareCols float64
+	// VerifyTol is the relative-L2 divergence between the two reads of a
+	// verify pair above which the result is flagged transient.
+	VerifyTol float64
+	// CanaryTol is the relative-L2 divergence of a canary output against
+	// its digital reference above which the canary counts as diverged
+	// (top-1 disagreement always counts).
+	CanaryTol float64
+	// Repair enables checksum-probe detection + column remapping during
+	// recalibration.
+	Repair bool
+}
+
+// DefaultMLPPipelineConfig returns the R2 replica configuration.
+func DefaultMLPPipelineConfig() MLPPipelineConfig {
+	return MLPPipelineConfig{
+		Model:     crossbar.PCM(),
+		Array:     crossbar.DefaultConfig(),
+		Prog:      crossbar.ProgramPolicy{MaxPulses: 800, MaxRetries: 2},
+		SpareCols: 0.25,
+		VerifyTol: 0.05,
+		CanaryTol: 0.25,
+		Repair:    true,
+	}
+}
+
+// MLPPipeline is an analog replica of a digitally trained MLP: every layer
+// lives on a faults.RemappedArray (spare columns for remapping) programmed
+// from the golden weights with write-verify retry.
+type MLPPipeline struct {
+	cfg     MLPPipelineConfig
+	net     *nn.MLP
+	arrays  []*faults.RemappedArray
+	golden  []*tensor.Matrix // per-layer golden weight targets
+	canaryX []tensor.Vector
+	canaryY []tensor.Vector // digital reference outputs
+}
+
+// NewMLPPipeline programs one replica of golden onto fresh arrays. attach,
+// if non-nil, receives each physical array before programming — the hook
+// point fault campaigns use. The canary vectors' digital reference outputs
+// are captured from golden before any analog hardware touches them.
+func NewMLPPipeline(golden *nn.MLP, canaryX []tensor.Vector, cfg MLPPipelineConfig, attach func(*crossbar.Array), rng *rngutil.Source) *MLPPipeline {
+	if cfg.SpareCols <= 0 {
+		cfg.SpareCols = 0.25
+	}
+	p := &MLPPipeline{cfg: cfg, net: &nn.MLP{}}
+	for _, x := range canaryX {
+		p.canaryX = append(p.canaryX, x.Clone())
+		p.canaryY = append(p.canaryY, golden.Forward(x).Clone())
+	}
+	for li, l := range golden.Layers {
+		src := l.W.(*nn.DenseMat).M.Clone()
+		spares := tensor.MaxInt(2, int(float64(l.W.Cols())*cfg.SpareCols))
+		arr := faults.NewRemappedArray(l.W.Rows(), l.W.Cols(), spares, cfg.Model, cfg.Array,
+			rng.Child(fmt.Sprintf("layer%d", li)))
+		if attach != nil {
+			attach(arr.Arr)
+		}
+		arr.Program(src, cfg.Prog)
+		p.arrays = append(p.arrays, arr)
+		p.golden = append(p.golden, src)
+		p.net.Layers = append(p.net.Layers, &nn.DenseLayer{
+			In: l.In, Out: l.Out, Bias: l.Bias, Act: l.Act, W: arr,
+		})
+	}
+	return p
+}
+
+// Infer implements Pipeline.
+func (p *MLPPipeline) Infer(x tensor.Vector, verify bool) (tensor.Vector, bool) {
+	y := p.net.Forward(x).Clone()
+	if !verify {
+		return y, true
+	}
+	y2 := p.net.Forward(x).Clone()
+	return y2, relL2(y, y2) <= p.cfg.VerifyTol
+}
+
+// CanaryDivergence implements Pipeline.
+func (p *MLPPipeline) CanaryDivergence() float64 {
+	if len(p.canaryX) == 0 {
+		return 0
+	}
+	diverged := 0
+	for i, x := range p.canaryX {
+		y := p.net.Forward(x)
+		if y.ArgMax() != p.canaryY[i].ArgMax() || relL2(y, p.canaryY[i]) > p.cfg.CanaryTol {
+			diverged++
+		}
+	}
+	return float64(diverged) / float64(len(p.canaryX))
+}
+
+// Recalibrate implements Pipeline: write-verify the golden weights back
+// into every layer, remap freshly dead columns onto spares (when enabled),
+// and give relocated columns the same write-verify service. PCM legs that
+// saturated across repeated recalibrations get the difference-preserving
+// RESET first, restoring programming headroom (§II-B.1).
+func (p *MLPPipeline) Recalibrate() RecalStats {
+	var st RecalStats
+	for li, arr := range p.arrays {
+		if arr.Arr.MaxSaturation() > 0.85 {
+			arr.Arr.ResetAll()
+		}
+		rep := arr.Program(p.golden[li], p.cfg.Prog)
+		st.Pulses += rep.Pulses
+		if p.cfg.Repair {
+			fix := arr.Repair(p.golden[li], 0, p.cfg.Prog.MaxPulses)
+			rep2 := arr.Program(p.golden[li], p.cfg.Prog)
+			st.Pulses += fix.Pulses + rep2.Pulses
+			st.DetectReads += fix.Diagnosis.Reads
+			st.Remapped += fix.Remapped
+		}
+		st.Residual += arr.Residual(p.golden[li]) / float64(len(p.arrays))
+	}
+	return st
+}
+
+var _ Pipeline = (*MLPPipeline)(nil)

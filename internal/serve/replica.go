@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Replica owns one Pipeline plus its Health. The mutex is the ownership
+// handoff required by the crossbar single-writer contract: workers, the
+// canary prober, and the background recalibrator all funnel through it, so
+// the arrays underneath only ever see one operation at a time even while
+// the Service runs them from many goroutines.
+type Replica struct {
+	ID     int
+	Health *Health
+
+	mu   sync.Mutex
+	pipe Pipeline
+}
+
+// NewReplica wraps pipe for service under pol.
+func NewReplica(id int, pipe Pipeline, pol Policy) *Replica {
+	return &Replica{ID: id, Health: NewHealth(pol), pipe: pipe}
+}
+
+// Infer serializes one inference through the replica's pipeline.
+func (r *Replica) Infer(x tensor.Vector, verify bool) (tensor.Vector, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pipe.Infer(x, verify)
+}
+
+// Canary serializes one canary round.
+func (r *Replica) Canary() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pipe.CanaryDivergence()
+}
+
+// Recalibrate serializes a recalibration pass and returns the fresh canary
+// divergence measured while still holding the array.
+func (r *Replica) Recalibrate() (RecalStats, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.pipe.Recalibrate()
+	return st, r.pipe.CanaryDivergence()
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Service errors returned by Do.
+var (
+	// ErrShed means the bounded queue was full and the request was load-shed
+	// on arrival.
+	ErrShed = errors.New("serve: queue full, request shed")
+	// ErrDeadline means the request missed its completion deadline.
+	ErrDeadline = errors.New("serve: deadline exceeded")
+	// ErrUnavailable means no replica was in rotation and no fallback path
+	// was configured.
+	ErrUnavailable = errors.New("serve: no replica in rotation")
+	// ErrClosed means the service has shut down.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// ServiceCounters is a snapshot of the live runtime's accounting.
+type ServiceCounters struct {
+	Served, Shed, Expired, Unavailable int64
+	Retries, Hedges, Fallbacks, Recals int64
+}
+
+type request struct {
+	x        tensor.Vector
+	deadline time.Time
+	done     chan result
+}
+
+type result struct {
+	y   tensor.Vector
+	err error
+}
+
+// Service is the real goroutine runtime: a bounded channel queue, a worker
+// pool serving with wall-clock deadlines, hedging timers, a background
+// canary prober, and a background recalibration worker. It exists to prove
+// the machinery safe under true concurrency (the -race tests hammer it,
+// including forward reads racing a reprogram); the published R2 tables come
+// from the virtual-time simulator in sim.go, which drives the identical
+// Policy/Health/Pipeline machinery deterministically.
+type Service struct {
+	pol      Policy
+	replicas []*Replica
+
+	fbMu     sync.Mutex
+	fallback func(tensor.Vector) tensor.Vector
+
+	queue   chan *request
+	recalCh chan *Replica
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	rr      atomic.Uint64
+
+	served, shed, expired, unavailable atomic.Int64
+	retries, hedges, fallbacks, recals atomic.Int64
+}
+
+// NewService starts the runtime with the given worker count. fallback, if
+// non-nil and enabled by the policy, is the digital float path used when no
+// replica is in rotation; it is serialized internally (golden nets cache
+// layer state and are not reentrant).
+func NewService(pol Policy, replicas []*Replica, fallback func(tensor.Vector) tensor.Vector, workers int) *Service {
+	if workers <= 0 {
+		workers = 2
+	}
+	if pol.QueueCap <= 0 {
+		pol.QueueCap = 64
+	}
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = 1
+	}
+	s := &Service{
+		pol:      pol,
+		replicas: replicas,
+		fallback: fallback,
+		queue:    make(chan *request, pol.QueueCap),
+		recalCh:  make(chan *Replica, len(replicas)),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if pol.Watchdog {
+		s.wg.Add(2)
+		go s.canaryLoop()
+		go s.recalLoop()
+	}
+	return s
+}
+
+// Counters snapshots the runtime accounting.
+func (s *Service) Counters() ServiceCounters {
+	return ServiceCounters{
+		Served: s.served.Load(), Shed: s.shed.Load(),
+		Expired: s.expired.Load(), Unavailable: s.unavailable.Load(),
+		Retries: s.retries.Load(), Hedges: s.hedges.Load(),
+		Fallbacks: s.fallbacks.Load(), Recals: s.recals.Load(),
+	}
+}
+
+// Do submits one inference and blocks for its result (or shedding/deadline
+// error). Safe for concurrent use.
+func (s *Service) Do(x tensor.Vector) (tensor.Vector, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	req := &request{
+		x:        x,
+		deadline: time.Now().Add(time.Duration(s.pol.Deadline * float64(time.Second))),
+		done:     make(chan result, 1),
+	}
+	select {
+	case s.queue <- req:
+	default:
+		s.shed.Add(1)
+		return nil, ErrShed
+	}
+	r := <-req.done
+	return r.y, r.err
+}
+
+// Close drains the runtime: no new requests are accepted, background
+// goroutines exit, and queued-but-unserved requests fail with ErrClosed.
+func (s *Service) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.stop)
+	s.wg.Wait()
+	for {
+		select {
+		case req := <-s.queue:
+			req.done <- result{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.queue:
+			req.done <- s.serveOne(req)
+		}
+	}
+}
+
+// pick chooses the next replica in rotation, healthy ones first, skipping
+// those in avoid. Returns nil when every replica is quarantined.
+func (s *Service) pick(avoid *Replica) *Replica {
+	n := len(s.replicas)
+	start := int(s.rr.Add(1)) % n
+	var degraded *Replica
+	for i := 0; i < n; i++ {
+		r := s.replicas[(start+i)%n]
+		if r == avoid {
+			continue
+		}
+		switch r.Health.State() {
+		case Healthy:
+			return r
+		case Degraded:
+			if degraded == nil {
+				degraded = r
+			}
+		}
+	}
+	return degraded
+}
+
+// serveOne runs the full per-request policy: replica selection, verify
+// reads, bounded retry with backoff, hedging, deadline, digital fallback.
+func (s *Service) serveOne(req *request) result {
+	backoff := s.pol.RetryBackoff
+	for attempt := 0; attempt < s.pol.MaxAttempts; attempt++ {
+		if time.Now().After(req.deadline) {
+			s.expired.Add(1)
+			return result{err: ErrDeadline}
+		}
+		primary := s.pick(nil)
+		if primary == nil {
+			return s.fallbackServe(req)
+		}
+		y, ok := s.attempt(primary, req)
+		if ok {
+			s.served.Add(1)
+			return result{y: y}
+		}
+		if y == nil && time.Now().After(req.deadline) {
+			s.expired.Add(1)
+			return result{err: ErrDeadline}
+		}
+		// Suspected transient: back off and retry (doubling), unless this
+		// was the last attempt — then serve the suspect read rather than
+		// nothing.
+		if attempt+1 < s.pol.MaxAttempts {
+			s.retries.Add(1)
+			if backoff > 0 {
+				time.Sleep(time.Duration(backoff * float64(time.Second)))
+				backoff *= 2
+			}
+			continue
+		}
+		if y != nil {
+			s.served.Add(1)
+			return result{y: y}
+		}
+	}
+	s.expired.Add(1)
+	return result{err: ErrDeadline}
+}
+
+// attempt runs one (possibly hedged) inference attempt. ok=false with a
+// non-nil vector flags a suspected transient.
+func (s *Service) attempt(primary *Replica, req *request) (tensor.Vector, bool) {
+	type attemptRes struct {
+		r    *Replica
+		y    tensor.Vector
+		ok   bool
+		took time.Duration
+	}
+	run := func(r *Replica, ch chan attemptRes) {
+		t0 := time.Now()
+		y, ok := r.Infer(req.x, s.pol.VerifyReads)
+		ch <- attemptRes{r: r, y: y, ok: ok, took: time.Since(t0)}
+	}
+	observe := func(a attemptRes) {
+		a.r.Health.ObserveServe(a.took.Seconds(), !a.ok)
+	}
+
+	ch := make(chan attemptRes, 2)
+	go run(primary, ch)
+	inFlight := 1
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if s.pol.Hedge && len(s.replicas) > 1 {
+		d := primary.Health.HedgeDelay(s.pol.HedgeQuantile, s.pol.HedgeMin, s.pol.Deadline)
+		hedgeTimer = time.NewTimer(time.Duration(d * float64(time.Second)))
+		hedgeC = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+	deadlineTimer := time.NewTimer(time.Until(req.deadline))
+	defer deadlineTimer.Stop()
+
+	var suspect tensor.Vector
+	for {
+		select {
+		case a := <-ch:
+			observe(a)
+			inFlight--
+			if a.ok {
+				return a.y, true
+			}
+			suspect = a.y
+			if inFlight == 0 {
+				return suspect, false
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if second := s.pick(primary); second != nil {
+				s.hedges.Add(1)
+				go run(second, ch)
+				inFlight++
+			}
+		case <-deadlineTimer.C:
+			// Leave stragglers to finish into the buffered channel; their
+			// health observations are lost, which is acceptable for the
+			// wall-clock runtime.
+			return suspect, suspect != nil
+		}
+	}
+}
+
+func (s *Service) fallbackServe(req *request) result {
+	if !s.pol.Fallback || s.fallback == nil {
+		s.unavailable.Add(1)
+		return result{err: ErrUnavailable}
+	}
+	s.fbMu.Lock()
+	y := s.fallback(req.x)
+	s.fbMu.Unlock()
+	s.fallbacks.Add(1)
+	s.served.Add(1)
+	return result{y: y}
+}
+
+// canaryLoop periodically replays golden vectors on every in-rotation
+// replica and feeds the breaker; replicas it quarantines are handed to the
+// recalibration worker.
+func (s *Service) canaryLoop() {
+	defer s.wg.Done()
+	period := time.Duration(s.pol.CanaryEvery * float64(time.Second))
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			for _, r := range s.replicas {
+				if r.Health.State() == Quarantined {
+					continue
+				}
+				div := r.Canary()
+				if r.Health.ObserveCanary(div) == Quarantined {
+					select {
+					case s.recalCh <- r:
+					default: // already enqueued
+					}
+				}
+			}
+		}
+	}
+}
+
+// recalLoop reprograms quarantined replicas from golden weights in the
+// background and re-admits the ones whose fresh canary passes.
+func (s *Service) recalLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case r := <-s.recalCh:
+			for try := 0; try <= s.pol.RecalMaxRetries; try++ {
+				_, div := r.Recalibrate()
+				s.recals.Add(1)
+				if div <= s.pol.ReadmitThresh {
+					r.Health.Readmit(div)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"repro/internal/crossbar"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+	"repro/internal/xmann"
+)
+
+// XMannPipelineConfig parameterizes one X-MANN distributed-memory replica.
+type XMannPipelineConfig struct {
+	// Model and Array configure the tiles (update mode is forced to
+	// expected-pulse by the tile constructor either way).
+	Model crossbar.Model
+	Array crossbar.Config
+	// Prog is the write-verify policy for programming and recalibration.
+	Prog crossbar.ProgramPolicy
+	// TileRows is the row partition of the memory across tiles.
+	TileRows int
+	// Beta is the similarity softmax temperature.
+	Beta float64
+	// VerifyTol and CanaryTol mirror MLPPipelineConfig.
+	VerifyTol float64
+	CanaryTol float64
+}
+
+// DefaultXMannPipelineConfig returns the R2 replica configuration. The
+// tiles stay on ideal devices — the X-MANN arm isolates the serving layer's
+// response to injected faults from PCM drift, which the MLP arm covers.
+func DefaultXMannPipelineConfig() XMannPipelineConfig {
+	return XMannPipelineConfig{
+		Model:     crossbar.Ideal(),
+		Array:     crossbar.DefaultConfig(),
+		Prog:      crossbar.ProgramPolicy{MaxPulses: 800, MaxRetries: 2},
+		TileRows:  8,
+		Beta:      10,
+		VerifyTol: 0.05,
+		CanaryTol: 0.35,
+	}
+}
+
+// XMannPipeline is a replica of an X-MANN differentiable memory: the golden
+// memory matrix partitioned row-wise across transposable tiles, served
+// through the two-op similarity dataflow of §III-A. Inference answers
+// nearest-memory-row attention queries; the canary replays golden keys
+// against xmann.ReferenceSimilarity.
+type XMannPipeline struct {
+	cfg     XMannPipelineConfig
+	mem     *xmann.DistributedMemory
+	golden  []*tensor.Matrix // per-tile golden sub-memories
+	canaryK []tensor.Vector
+	canaryY []tensor.Vector // digital reference attention distributions
+}
+
+// NewXMannPipeline programs one replica of goldenMem across fresh tiles.
+// attach, if non-nil, receives each tile's array before programming.
+func NewXMannPipeline(goldenMem *tensor.Matrix, canaryKeys []tensor.Vector, cfg XMannPipelineConfig, attach func(*crossbar.Array), rng *rngutil.Source) *XMannPipeline {
+	if cfg.TileRows <= 0 {
+		cfg.TileRows = 8
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 10
+	}
+	p := &XMannPipeline{cfg: cfg}
+	for _, k := range canaryKeys {
+		p.canaryK = append(p.canaryK, k.Clone())
+		p.canaryY = append(p.canaryY, xmann.ReferenceSimilarity(goldenMem, k, cfg.Beta))
+	}
+	arrCfg := cfg.Array
+	p.mem, _ = xmann.NewDistributedMemoryOpts(goldenMem, cfg.TileRows, xmann.MemoryOptions{
+		Model:  cfg.Model,
+		Cfg:    &arrCfg,
+		Policy: &cfg.Prog,
+		Attach: attach,
+	}, rng)
+	for start := 0; start < goldenMem.Rows; start += cfg.TileRows {
+		end := tensor.MinInt(start+cfg.TileRows, goldenMem.Rows)
+		sub := tensor.NewMatrix(end-start, goldenMem.Cols)
+		copy(sub.Data, goldenMem.Data[start*goldenMem.Cols:end*goldenMem.Cols])
+		p.golden = append(p.golden, sub)
+	}
+	return p
+}
+
+// Infer implements Pipeline: the attention distribution for one query key.
+func (p *XMannPipeline) Infer(key tensor.Vector, verify bool) (tensor.Vector, bool) {
+	y := p.mem.Similarity(key, p.cfg.Beta)
+	if !verify {
+		return y, true
+	}
+	y2 := p.mem.Similarity(key, p.cfg.Beta)
+	return y2, relL2(y, y2) <= p.cfg.VerifyTol
+}
+
+// CanaryDivergence implements Pipeline.
+func (p *XMannPipeline) CanaryDivergence() float64 {
+	if len(p.canaryK) == 0 {
+		return 0
+	}
+	diverged := 0
+	for i, k := range p.canaryK {
+		y := p.mem.Similarity(k, p.cfg.Beta)
+		if y.ArgMax() != p.canaryY[i].ArgMax() || relL2(y, p.canaryY[i]) > p.cfg.CanaryTol {
+			diverged++
+		}
+	}
+	return float64(diverged) / float64(len(p.canaryK))
+}
+
+// Recalibrate implements Pipeline: write-verify every tile back to its
+// golden sub-memory. Tiles have no spare columns, so there is no remap leg;
+// saturated devices get the difference-preserving RESET first.
+func (p *XMannPipeline) Recalibrate() RecalStats {
+	var st RecalStats
+	for ti, tile := range p.mem.Tiles {
+		if tile.Array().MaxSaturation() > 0.85 {
+			tile.Array().ResetAll()
+		}
+		rep := tile.ProgramVerify(p.golden[ti], p.cfg.Prog)
+		st.Pulses += rep.Pulses
+		st.Residual += rep.Residual / float64(len(p.mem.Tiles))
+	}
+	return st
+}
+
+var _ Pipeline = (*XMannPipeline)(nil)
