@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check campaign serve-campaign
+.PHONY: all build vet test race check campaign serve-campaign train-campaign
 
 all: check
 
@@ -26,3 +26,7 @@ campaign:
 # Regenerate the R2 self-healing service tables (full size, fixed seed).
 serve-campaign:
 	$(GO) run ./cmd/serve-campaign -seed 1234
+
+# Regenerate the R3 crash-safe training table (full size, fixed seed).
+train-campaign:
+	$(GO) run ./cmd/train-campaign -seed 1234

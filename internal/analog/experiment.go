@@ -1,6 +1,8 @@
 package analog
 
 import (
+	"fmt"
+
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/rngutil"
@@ -45,6 +47,36 @@ type EpochHook func(epoch int)
 // synthetic digits task and reports accuracies. All randomness derives from
 // cfg.Seed, so runs are exactly reproducible.
 func RunDigits(factory nn.MatFactory, cfg ExperimentConfig, hooks ...EpochHook) TrainResult {
+	res, err := RunDigitsResumable(factory, nil, cfg, Checkpointing{}, hooks...)
+	if err != nil {
+		// Without a Store or Resume state there are no error paths.
+		panic(err)
+	}
+	return res
+}
+
+// epochOrder returns the epoch's sample visit order. Each epoch shuffles the
+// identity permutation with its own child stream keyed by the epoch index,
+// so the order is a pure function of (seed, epoch): a resumed run replays
+// epoch e with exactly the order the uninterrupted run used, without
+// checkpointing any shuffle stream position.
+func epochOrder(rng *rngutil.Source, epoch, n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	shuffleRng := rng.Child(fmt.Sprintf("order-epoch-%d", epoch))
+	shuffleRng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// RunDigitsResumable is RunDigits with crash-safety: it logs a WAL step
+// record per epoch, persists durable checkpoints every ck.Every epochs, and
+// can resume from a previously saved state — continuing bit-identically
+// with the run that was interrupted. sess may be nil for fully digital runs
+// (no arrays to checkpoint); when training on crossbars, pass the session
+// whose Factory built the network so device state rides in the checkpoint.
+func RunDigitsResumable(factory nn.MatFactory, sess *Session, cfg ExperimentConfig, ck Checkpointing, hooks ...EpochHook) (TrainResult, error) {
 	rng := rngutil.New(cfg.Seed)
 	ds := dataset.Digits(cfg.Data, rng.Child("data"))
 	train, test := ds.Split(cfg.TrainFrac)
@@ -54,25 +86,50 @@ func RunDigits(factory nn.MatFactory, cfg ExperimentConfig, hooks ...EpochHook) 
 	m := nn.NewMLP(sizes, nn.TanhAct, nn.SoftmaxAct, factory)
 
 	res := TrainResult{}
-	order := make([]int, train.Len())
-	for i := range order {
-		order[i] = i
+	start := 0
+	if ck.Resume != nil {
+		if err := RestoreTraining(m, sess, ck.Resume, ck.Providers); err != nil {
+			return res, err
+		}
+		start = ck.Resume.Epoch
+		res.EpochLoss = cloneF(ck.Resume.EpochLoss)
 	}
-	shuffleRng := rng.Child("order")
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		shuffleRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for epoch := start; epoch < cfg.Epochs; epoch++ {
+		order := epochOrder(rng, epoch, train.Len())
+		half := len(order) / 2
 		var loss float64
-		for _, i := range order {
+		for k, i := range order {
 			loss += m.TrainStep(train.X[i], train.Y[i], cfg.LR)
+			if ck.Crash != nil && k == half {
+				ck.Crash("mid-epoch", epoch)
+			}
 		}
 		res.EpochLoss = append(res.EpochLoss, loss/float64(train.Len()))
 		for _, h := range hooks {
 			h(epoch)
 		}
+		if ck.Store != nil {
+			var pulses int64
+			if sess != nil {
+				pulses = sess.TotalPulses()
+			}
+			if err := ck.Store.AppendStep(epoch, res.EpochLoss[epoch], pulses); err != nil {
+				return res, err
+			}
+			if ck.Every > 0 && (epoch+1)%ck.Every == 0 && epoch+1 < cfg.Epochs {
+				st, err := CaptureTraining(m, sess, epoch+1, res.EpochLoss, ck.Providers)
+				if err != nil {
+					return res, err
+				}
+				if _, err := ck.Store.Save(st); err != nil {
+					return res, err
+				}
+			}
+		}
 	}
 	res.TrainAccuracy = m.Accuracy(train.X, train.Y)
 	res.TestAccuracy = m.Accuracy(test.X, test.Y)
-	return res
+	return res, nil
 }
 
 // RunDigitsDigital is the fp32 reference run (experiment baseline).

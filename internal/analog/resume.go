@@ -1,0 +1,200 @@
+package analog
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/crossbar"
+	"repro/internal/nn"
+)
+
+// Checkpointing configures crash-safety for a resumable training run. The
+// zero value disables everything, making RunDigitsResumable behave exactly
+// like RunDigits.
+type Checkpointing struct {
+	// Store receives WAL step records and durable checkpoints; nil disables
+	// persistence entirely.
+	Store *ckpt.Store
+	// Every saves a checkpoint after every Every-th completed epoch (after
+	// the epoch hooks have run, so time-based device effects are included).
+	// 0 logs WAL records only.
+	Every int
+	// Resume, when non-nil, is restored over the freshly constructed network
+	// before the first epoch; training continues at Resume.Epoch. The caller
+	// must build the session/network from the same ExperimentConfig seed the
+	// checkpoint came from — construction is deterministic, and the import
+	// overwrites every piece of constructed state.
+	Resume *ckpt.TrainingState
+	// Providers contribute extra run state (e.g. a faults.Engine) to every
+	// checkpoint and are restored from Resume.
+	Providers []ckpt.StateProvider
+	// Crash is the chaos kill-point hook; also fired from inside Store.Save
+	// when the caller arms Store.Crash. Nil in production.
+	Crash ckpt.CrashFn
+}
+
+// TotalPulses reports the cumulative device pulse count across all session
+// arrays — the endurance currency the R3 campaign accounts wasted work in.
+func (s *Session) TotalPulses() int64 {
+	var n int64
+	for _, a := range s.arrays {
+		n += a.Counts.Pulses
+	}
+	return n
+}
+
+// ExportArrays snapshots the device state of every session array in
+// creation order.
+func (s *Session) ExportArrays() []crossbar.ArrayState {
+	states := make([]crossbar.ArrayState, len(s.arrays))
+	for i, a := range s.arrays {
+		states[i] = a.ExportState()
+	}
+	return states
+}
+
+// ImportArrays restores previously exported array states; the session must
+// have been built to the same shape (same options, same network).
+func (s *Session) ImportArrays(states []crossbar.ArrayState) error {
+	if len(states) != len(s.arrays) {
+		return fmt.Errorf("analog: checkpoint has %d arrays, session built %d", len(states), len(s.arrays))
+	}
+	for i, st := range states {
+		if err := s.arrays[i].ImportState(st); err != nil {
+			return fmt.Errorf("analog: array %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// captureLayer exports the trainer-level state a layer's Mat keeps outside
+// the crossbar arrays. Array device state itself travels separately in
+// TrainingState.Arrays (session creation order).
+func captureLayer(w nn.Mat) (ckpt.LayerState, error) {
+	switch m := w.(type) {
+	case *crossbar.Array:
+		return ckpt.LayerState{Kind: "plain"}, nil
+	case *zeroShiftedMat:
+		return ckpt.LayerState{Kind: "zero-shift", Floats: [][]float64{cloneF(m.ref.Data)}}, nil
+	case *tikiTakaMat:
+		return ckpt.LayerState{
+			Kind:   "tiki-taka",
+			Ints:   []int64{int64(m.updates), int64(m.nextCol)},
+			Floats: [][]float64{cloneF(m.a.ref.Data), cloneF(m.c.ref.Data)},
+		}, nil
+	case *mixedPrecisionMat:
+		return ckpt.LayerState{Kind: "mixed-precision", Floats: [][]float64{cloneF(m.chi.Data)}}, nil
+	case *nn.DenseMat:
+		return ckpt.LayerState{Kind: "dense", Floats: [][]float64{cloneF(m.M.Data)}}, nil
+	}
+	return ckpt.LayerState{}, fmt.Errorf("analog: layer type %T is not checkpointable", w)
+}
+
+// restoreLayer is captureLayer's inverse; it validates kind and shape before
+// touching the layer.
+func restoreLayer(w nn.Mat, st ckpt.LayerState) error {
+	switch m := w.(type) {
+	case *crossbar.Array:
+		if st.Kind != "plain" {
+			return fmt.Errorf("analog: layer kind %q, want plain", st.Kind)
+		}
+		return nil
+	case *zeroShiftedMat:
+		if st.Kind != "zero-shift" || len(st.Floats) != 1 || len(st.Floats[0]) != len(m.ref.Data) {
+			return fmt.Errorf("analog: bad zero-shift layer state (kind %q)", st.Kind)
+		}
+		copy(m.ref.Data, st.Floats[0])
+		return nil
+	case *tikiTakaMat:
+		if st.Kind != "tiki-taka" || len(st.Ints) != 2 || len(st.Floats) != 2 ||
+			len(st.Floats[0]) != len(m.a.ref.Data) || len(st.Floats[1]) != len(m.c.ref.Data) {
+			return fmt.Errorf("analog: bad tiki-taka layer state (kind %q)", st.Kind)
+		}
+		m.updates = int(st.Ints[0])
+		m.nextCol = int(st.Ints[1])
+		copy(m.a.ref.Data, st.Floats[0])
+		copy(m.c.ref.Data, st.Floats[1])
+		return nil
+	case *mixedPrecisionMat:
+		if st.Kind != "mixed-precision" || len(st.Floats) != 1 || len(st.Floats[0]) != len(m.chi.Data) {
+			return fmt.Errorf("analog: bad mixed-precision layer state (kind %q)", st.Kind)
+		}
+		copy(m.chi.Data, st.Floats[0])
+		return nil
+	case *nn.DenseMat:
+		if st.Kind != "dense" || len(st.Floats) != 1 || len(st.Floats[0]) != len(m.M.Data) {
+			return fmt.Errorf("analog: bad dense layer state (kind %q)", st.Kind)
+		}
+		copy(m.M.Data, st.Floats[0])
+		return nil
+	}
+	return fmt.Errorf("analog: layer type %T is not checkpointable", w)
+}
+
+func cloneF(x []float64) []float64 { return append([]float64(nil), x...) }
+
+// CaptureTraining assembles the complete resumable state of a run at an
+// epoch boundary: epoch is the number of completed epochs, losses their mean
+// losses, sess may be nil for fully digital runs.
+func CaptureTraining(m *nn.MLP, sess *Session, epoch int, losses []float64, providers []ckpt.StateProvider) (*ckpt.TrainingState, error) {
+	st := &ckpt.TrainingState{
+		Epoch:     epoch,
+		EpochLoss: cloneF(losses),
+	}
+	if sess != nil {
+		st.Arrays = sess.ExportArrays()
+	}
+	for i, l := range m.Layers {
+		ls, err := captureLayer(l.W)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		st.Layers = append(st.Layers, ls)
+	}
+	for _, p := range providers {
+		blob, err := p.ExportState()
+		if err != nil {
+			return nil, fmt.Errorf("analog: provider %s: %w", p.StateKey(), err)
+		}
+		if st.Extra == nil {
+			st.Extra = make(map[string][]byte)
+		}
+		if _, dup := st.Extra[p.StateKey()]; dup {
+			return nil, fmt.Errorf("analog: duplicate provider key %s", p.StateKey())
+		}
+		st.Extra[p.StateKey()] = blob
+	}
+	return st, nil
+}
+
+// RestoreTraining imports a checkpoint over a freshly constructed run. All
+// shapes are validated before any state is mutated at the layer level;
+// array imports validate individually (see crossbar.ImportState).
+func RestoreTraining(m *nn.MLP, sess *Session, st *ckpt.TrainingState, providers []ckpt.StateProvider) error {
+	if len(st.Layers) != len(m.Layers) {
+		return fmt.Errorf("analog: checkpoint has %d layers, network has %d", len(st.Layers), len(m.Layers))
+	}
+	if sess == nil && len(st.Arrays) != 0 {
+		return fmt.Errorf("analog: checkpoint has %d arrays but run is digital", len(st.Arrays))
+	}
+	if sess != nil {
+		if err := sess.ImportArrays(st.Arrays); err != nil {
+			return err
+		}
+	}
+	for i, l := range m.Layers {
+		if err := restoreLayer(l.W, st.Layers[i]); err != nil {
+			return fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	for _, p := range providers {
+		blob, ok := st.Extra[p.StateKey()]
+		if !ok {
+			return fmt.Errorf("analog: checkpoint missing provider state %s", p.StateKey())
+		}
+		if err := p.ImportState(blob); err != nil {
+			return fmt.Errorf("analog: provider %s: %w", p.StateKey(), err)
+		}
+	}
+	return nil
+}

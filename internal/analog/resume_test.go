@@ -1,0 +1,175 @@
+package analog
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/crossbar"
+	"repro/internal/nn"
+	"repro/internal/rngutil"
+)
+
+// resumeCase is one (mode, model) combination whose kill-and-resume run must
+// reproduce the uninterrupted run bit-for-bit.
+type resumeCase struct {
+	name  string
+	mode  Mode
+	model crossbar.Model
+	drift bool // exercise time-based hooks (PCM drift + maintenance)
+}
+
+func resumeCases() []resumeCase {
+	return []resumeCase{
+		{"plain-rram", PlainSGD, crossbar.RRAM(), false},
+		{"tikitaka-asym", TikiTaka, asymmetricModel(), false},
+		{"mixedprec-pcm", MixedPrecision, crossbar.PCM(), true},
+		{"zeroshift-asym", ZeroShift, asymmetricModel(), false},
+	}
+}
+
+func (c resumeCase) options() Options {
+	opts := DefaultOptions(c.model, c.mode)
+	opts.SymmetrizeIters = 60 // keep the test fast
+	return opts
+}
+
+func (c resumeCase) session(cfg ExperimentConfig) *Session {
+	return NewSession(c.options(), rngutil.New(cfg.Seed).Child("session"))
+}
+
+func (c resumeCase) hooks(sess *Session) []EpochHook {
+	if !c.drift {
+		return nil
+	}
+	return []EpochHook{func(epoch int) {
+		sess.AdvanceTime(60)
+		sess.MaintainPCM(0.9)
+	}}
+}
+
+// TestResumeBitIdentical is the acceptance-criterion pin: a run killed
+// mid-epoch and resumed from its last durable checkpoint must produce a
+// TrainResult — accuracies and every per-epoch loss — bit-identical to the
+// run that was never killed, for every training mode.
+func TestResumeBitIdentical(t *testing.T) {
+	cfg := tinyExperiment()
+	cfg.Epochs = 6
+	const killEpoch = 4 // after the epoch-4 checkpoint (Every=2)
+
+	for _, c := range resumeCases() {
+		t.Run(c.name, func(t *testing.T) {
+			// Uninterrupted reference run, no checkpointing at all.
+			sessA := c.session(cfg)
+			want, err := RunDigitsResumable(sessA.Factory(), sessA, cfg, Checkpointing{}, c.hooks(sessA)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Killed run: crash mid-epoch killEpoch.
+			store, err := ckpt.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			crash := func(site string, seq int) {
+				if site == "mid-epoch" && seq == killEpoch {
+					panic(ckpt.Crash{Site: site, Seq: seq})
+				}
+			}
+			store.Crash = crash
+			killed := func() (died bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(ckpt.Crash); !ok {
+							panic(r)
+						}
+						died = true
+					}
+				}()
+				sessB := c.session(cfg)
+				_, _ = RunDigitsResumable(sessB.Factory(), sessB, cfg,
+					Checkpointing{Store: store, Every: 2, Crash: crash}, c.hooks(sessB)...)
+				return false
+			}()
+			if !killed {
+				t.Fatal("kill point never fired")
+			}
+
+			// Recover and resume on a freshly constructed session.
+			st, recov, err := store.LoadLatest()
+			if err != nil || st == nil {
+				t.Fatalf("recovery failed: %+v, %v", recov, err)
+			}
+			if st.Epoch != killEpoch {
+				t.Fatalf("recovered epoch %d, want %d", st.Epoch, killEpoch)
+			}
+			store.Crash = nil
+			sessC := c.session(cfg)
+			got, err := RunDigitsResumable(sessC.Factory(), sessC, cfg,
+				Checkpointing{Store: store, Every: 2, Resume: st}, c.hooks(sessC)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("resumed run diverged from uninterrupted run:\nwant %+v\ngot  %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestResumeBitIdenticalDigital covers the sess == nil path: a dense digital
+// run resumes bit-identically too.
+func TestResumeBitIdenticalDigital(t *testing.T) {
+	cfg := tinyExperiment()
+	cfg.Epochs = 6
+	factory := func() nn.MatFactory {
+		return nn.DenseFactory(rngutil.New(cfg.Seed).Child("weights"))
+	}
+	want, err := RunDigitsResumable(factory(), nil, cfg, Checkpointing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := ckpt.Open(t.TempDir())
+	crash := func(site string, seq int) {
+		if site == "mid-epoch" && seq == 3 {
+			panic(ckpt.Crash{Site: site, Seq: seq})
+		}
+	}
+	func() {
+		defer func() { recover() }()
+		_, _ = RunDigitsResumable(factory(), nil, cfg, Checkpointing{Store: store, Every: 2, Crash: crash})
+	}()
+	st, _, err := store.LoadLatest()
+	if err != nil || st == nil {
+		t.Fatal("no checkpoint recovered")
+	}
+	got, err := RunDigitsResumable(factory(), nil, cfg, Checkpointing{Store: store, Every: 2, Resume: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("digital resume diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestRestoreRejectsMismatchedNetwork pins that a checkpoint from a
+// different architecture is refused, not silently misapplied.
+func TestRestoreRejectsMismatchedNetwork(t *testing.T) {
+	cfg := tinyExperiment()
+	cfg.Epochs = 2
+	store, _ := ckpt.Open(t.TempDir())
+	sess := NewSession(DefaultOptions(crossbar.RRAM(), PlainSGD), rngutil.New(cfg.Seed).Child("session"))
+	if _, err := RunDigitsResumable(sess.Factory(), sess, cfg, Checkpointing{Store: store, Every: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := store.LoadLatest()
+	if err != nil || st == nil {
+		t.Fatal("no checkpoint saved")
+	}
+	bigger := cfg
+	bigger.Hidden = []int{12, 12}
+	sess2 := NewSession(DefaultOptions(crossbar.RRAM(), PlainSGD), rngutil.New(cfg.Seed).Child("session"))
+	if _, err := RunDigitsResumable(sess2.Factory(), sess2, bigger, Checkpointing{Resume: st}); err == nil {
+		t.Fatal("mismatched architecture must be rejected")
+	}
+}

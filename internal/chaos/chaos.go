@@ -1,0 +1,362 @@
+// Package chaos is the kill-point chaos harness of experiment R3: it
+// crashes analog training runs at sampled points — mid-epoch, mid-way
+// through a checkpoint temp-file write, between the WAL intent append and
+// the rename, and just after commit (then corrupting the committed file) —
+// recovers each time from the last good checkpoint in internal/ckpt, and
+// verifies that the recovered run finishes with a TrainResult bit-identical
+// to the run that was never killed.
+//
+// The motivating economics come from the paper's §II: on-device crossbar
+// training spends device endurance (pulse events), not just time, so the
+// campaign's graceful-degradation table prices recovery in replayed epochs
+// and wasted pulses against the restart-from-scratch alternative across
+// kill rate × checkpoint interval × fault level.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/analog"
+	"repro/internal/ckpt"
+	"repro/internal/crossbar"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/rngutil"
+)
+
+// Config parameterizes one chaos campaign. Everything is deterministic in
+// the config: the kill schedule is a fixed function of (kills, epochs), and
+// all randomness derives from Exp.Seed.
+type Config struct {
+	// Exp is the training workload every arm runs.
+	Exp analog.ExperimentConfig
+	// Opts selects the device model and training algorithm.
+	Opts analog.Options
+	// KillRates is the number of kills per run swept (0 = never killed).
+	KillRates []int
+	// Intervals is the checkpoint-every-N-epochs axis.
+	Intervals []int
+	// Levels scales the mid-training fault campaign injected through
+	// faults.Engine (0 = fault-free; the engine is not even attached).
+	Levels []float64
+	// DriftPerEpoch seconds of device drift are applied after every epoch,
+	// with a difference-preserving PCM reset past MaintainThreshold — the
+	// time-based state a checkpoint must capture to resume bit-identically.
+	DriftPerEpoch     float64
+	MaintainThreshold float64
+}
+
+// DefaultConfig returns the R3 campaign configuration: a mixed-precision
+// MLP on PCM devices (the paper's flagship analog training stack), kill
+// rates 0–3 against checkpoint intervals 1–2 under two fault levels.
+func DefaultConfig(seed uint64, quick bool) Config {
+	c := Config{
+		Exp: analog.ExperimentConfig{
+			Hidden:    []int{16},
+			Epochs:    8,
+			LR:        0.05,
+			Seed:      seed,
+			Data:      dataset.DigitsConfig{Classes: 6, Dim: 16, PerClass: 50, Noise: 0.5, Separation: 1},
+			TrainFrac: 0.8,
+		},
+		Opts:              analog.DefaultOptions(crossbar.PCM(), analog.MixedPrecision),
+		KillRates:         []int{0, 1, 3},
+		Intervals:         []int{1, 2},
+		Levels:            []float64{0, 1},
+		DriftPerEpoch:     30,
+		MaintainThreshold: 0.9,
+	}
+	if quick {
+		c.Exp.Epochs = 6
+		c.KillRates = []int{0, 2}
+		c.Intervals = []int{2}
+	}
+	return c
+}
+
+// planAt scales the mid-training fault campaign: progressive stuck-at
+// failures with corrupt frozen values plus periodic drift bursts, the two
+// §II-B.2 processes that accumulate device damage a resumed run must agree
+// with bit-for-bit.
+func planAt(level float64) faults.Plan {
+	if level <= 0 {
+		return faults.Plan{}
+	}
+	return faults.Plan{
+		StuckPerOp:      0.0004 * level,
+		StuckValueStd:   0.3,
+		WriteFail:       0.002 * level,
+		DriftBurstEvery: 2500,
+		DriftBurstDt:    20 * level,
+	}
+}
+
+// kill is one scheduled crash: the earliest epoch it may fire at and its
+// flavor. Flavors map to ckpt crash sites; "corrupt" fires at
+// "ckpt-committed" and then truncates the committed file, forcing recovery
+// to detect the corruption and fall back to the previous good checkpoint.
+type kill struct {
+	epoch  int
+	flavor string
+}
+
+// killFlavors rotates through every crash class the durability protocol
+// must survive.
+var killFlavors = []string{"mid-epoch", "corrupt", "wal-appended", "ckpt-mid-write"}
+
+// schedule spreads n kills evenly across the run.
+func schedule(n, epochs int) []kill {
+	ks := make([]kill, 0, n)
+	for i := 0; i < n; i++ {
+		ks = append(ks, kill{
+			epoch:  (i + 1) * epochs / (n + 1),
+			flavor: killFlavors[i%len(killFlavors)],
+		})
+	}
+	return ks
+}
+
+// killer arms the next scheduled kill as a ckpt.CrashFn. A kill fires at
+// the first matching site whose sequence number has reached its epoch, so
+// save-path flavors wait for the next checkpoint after the scheduled epoch.
+type killer struct {
+	pending []kill
+	last    kill
+}
+
+func (k *killer) fn(site string, seq int) {
+	if len(k.pending) == 0 {
+		return
+	}
+	next := k.pending[0]
+	want := next.flavor
+	if want == "corrupt" {
+		want = "ckpt-committed"
+	}
+	if site == want && seq >= next.epoch {
+		k.pending = k.pending[1:]
+		k.last = next
+		panic(ckpt.Crash{Site: site, Seq: seq})
+	}
+}
+
+// ArmResult is one row of the graceful-degradation table.
+type ArmResult struct {
+	Kills int     // scheduled kills
+	Every int     // checkpoint interval (epochs)
+	Level float64 // fault-campaign intensity
+
+	Crashes      int     // kills that actually fired
+	Rejected     int     // corrupt checkpoint files detected and refused
+	Replayed     int     // completed epochs redone across all recoveries
+	WastedRec    int64   // pulses lost with checkpoint recovery
+	WastedScr    int64   // pulses lost had each crash restarted from scratch
+	Accuracy     float64 // recovered run's final test accuracy
+	BitIdentical bool    // TrainResult equals the never-killed run's exactly
+}
+
+// attemptOutcome reports one training attempt inside an arm.
+type attemptOutcome struct {
+	res     analog.TrainResult
+	sess    *analog.Session
+	crashed bool
+	flavor  string
+	err     error
+}
+
+// build constructs a fresh session (and fault engine at level > 0) from the
+// config seed. Construction is deterministic, so every attempt of an arm
+// rebuilds the identical starting point before the checkpoint import
+// rewinds it to the crashed run's last durable state.
+func (c Config) build(level float64, ck *analog.Checkpointing) (*analog.Session, []analog.EpochHook) {
+	sess := analog.NewSession(c.Opts, rngutil.New(c.Exp.Seed).Child("session"))
+	if level > 0 {
+		eng := faults.NewEngine(planAt(level), rngutil.New(c.Exp.Seed).Child("chaos-faults"))
+		sess.AttachHook(eng)
+		ck.Providers = []ckpt.StateProvider{eng}
+	}
+	hook := func(int) {
+		sess.AdvanceTime(c.DriftPerEpoch)
+		sess.MaintainPCM(c.MaintainThreshold)
+	}
+	return sess, []analog.EpochHook{hook}
+}
+
+// train runs one uninterrupted training pass (the never-killed reference).
+func (c Config) train(level float64, ck analog.Checkpointing) (analog.TrainResult, *analog.Session, error) {
+	sess, hooks := c.build(level, &ck)
+	res, err := analog.RunDigitsResumable(sess.Factory(), sess, c.Exp, ck, hooks...)
+	return res, sess, err
+}
+
+// attempt runs one (possibly killed) training attempt, converting a chaos
+// crash panic into a reported outcome. The session is captured before the
+// run so wear at the crash point is readable after the panic unwinds.
+func (c Config) attempt(level float64, ck analog.Checkpointing, k *killer) (out attemptOutcome) {
+	sess, hooks := c.build(level, &ck)
+	out.sess = sess
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(ckpt.Crash); !ok {
+				panic(r)
+			}
+			out.crashed = true
+			out.flavor = k.last.flavor
+		}
+	}()
+	out.res, out.err = analog.RunDigitsResumable(sess.Factory(), sess, c.Exp, ck, hooks...)
+	return out
+}
+
+// corruptNewest truncates the newest committed checkpoint file, simulating
+// media damage after a clean commit.
+func corruptNewest(dir string) error {
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+	if len(files) == 0 {
+		return nil
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(files)))
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(files[0], raw[:len(raw)/2], 0o644)
+}
+
+// ckptPulses reads the cumulative pulse count a checkpoint was taken at.
+func ckptPulses(st *ckpt.TrainingState) int64 {
+	if st == nil {
+		return 0
+	}
+	var n int64
+	for _, a := range st.Arrays {
+		n += a.Counts.Pulses
+	}
+	return n
+}
+
+// RunArm executes one table row: it kills the run per schedule, recovers
+// from the last good checkpoint each time, and compares the final result to
+// the never-killed reference run ref.
+func (c Config) RunArm(kills, every int, level float64, ref analog.TrainResult) (ArmResult, error) {
+	arm := ArmResult{Kills: kills, Every: every, Level: level}
+	dir, err := os.MkdirTemp("", "chaos-arm-*")
+	if err != nil {
+		return arm, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := ckpt.Open(dir)
+	if err != nil {
+		return arm, err
+	}
+	k := &killer{pending: schedule(kills, c.Exp.Epochs)}
+	store.Crash = k.fn
+
+	var crashPulses int64 = -1 // pulses at the previous attempt's crash
+	var res analog.TrainResult
+	for attempt := 0; ; attempt++ {
+		if attempt > kills+1 {
+			return arm, fmt.Errorf("chaos: arm (%d kills, every %d) did not converge in %d attempts", kills, every, attempt)
+		}
+		st, recov, err := store.LoadLatest()
+		if err != nil {
+			return arm, err
+		}
+		arm.Rejected += len(recov.Rejected)
+		if crashPulses >= 0 { // this load is a recovery from a crash
+			arm.Replayed += recov.Replayed()
+			arm.WastedRec += crashPulses - ckptPulses(st)
+			arm.WastedScr += crashPulses
+		}
+		out := c.attempt(level, analog.Checkpointing{
+			Store: store, Every: every, Resume: st, Crash: k.fn,
+		}, k)
+		if out.err != nil {
+			return arm, out.err
+		}
+		if !out.crashed {
+			res = out.res
+			break
+		}
+		arm.Crashes++
+		crashPulses = out.sess.TotalPulses()
+		if out.flavor == "corrupt" {
+			if err := corruptNewest(dir); err != nil {
+				return arm, err
+			}
+		}
+	}
+	arm.Accuracy = res.TestAccuracy
+	arm.BitIdentical = reflect.DeepEqual(res, ref)
+	return arm, nil
+}
+
+// Run executes the full campaign grid. Reference (never-killed) runs are
+// computed once per fault level and shared across the grid.
+func Run(c Config) ([]ArmResult, error) {
+	refs := map[float64]analog.TrainResult{}
+	for _, level := range c.Levels {
+		res, _, err := c.train(level, analog.Checkpointing{})
+		if err != nil {
+			return nil, err
+		}
+		refs[level] = res
+	}
+	var out []ArmResult
+	for _, level := range c.Levels {
+		for _, every := range c.Intervals {
+			for _, kills := range c.KillRates {
+				arm, err := c.RunArm(kills, every, level, refs[level])
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, arm)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatTable renders the graceful-degradation table.
+func FormatTable(results []ArmResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-6s %-6s | %-7s %-8s %-8s %-12s %-12s %-9s %-9s\n",
+		"kills", "ckpt", "fault", "crashes", "rejected", "replayed",
+		"wasted-rec", "wasted-scr", "test-acc", "bit-ident")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 96))
+	for _, r := range results {
+		ident := "YES"
+		if !r.BitIdentical {
+			ident = "NO"
+		}
+		fmt.Fprintf(&b, "%-6d %-6d %-6.1f | %-7d %-8d %-8d %-12d %-12d %-9.3f %-9s\n",
+			r.Kills, r.Every, r.Level, r.Crashes, r.Rejected, r.Replayed,
+			r.WastedRec, r.WastedScr, r.Accuracy, ident)
+	}
+	return b.String()
+}
+
+// CheckInvariants verifies the campaign's acceptance criteria on a result
+// set: every arm recovered bit-identically, and recovery strictly dominates
+// restart-from-scratch on wasted pulses at every non-zero kill rate.
+func CheckInvariants(results []ArmResult) error {
+	for _, r := range results {
+		if !r.BitIdentical {
+			return fmt.Errorf("chaos: arm (%d kills, every %d, level %.1f) is not bit-identical to the unkilled run",
+				r.Kills, r.Every, r.Level)
+		}
+		if r.Kills > 0 && r.Crashes == 0 {
+			return fmt.Errorf("chaos: arm (%d kills, every %d, level %.1f) never crashed", r.Kills, r.Every, r.Level)
+		}
+		if r.Crashes > 0 && r.WastedRec >= r.WastedScr {
+			return fmt.Errorf("chaos: arm (%d kills, every %d, level %.1f): recovery wasted %d pulses, scratch %d — no dominance",
+				r.Kills, r.Every, r.Level, r.WastedRec, r.WastedScr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	c := DefaultConfig(99, true)
+	c.Exp.Data.PerClass = 40 // keep the grid fast
+	return c
+}
+
+// TestCampaignInvariants runs the quick campaign grid and pins the
+// acceptance criteria: every killed arm recovers bit-identically to the
+// unkilled run, recovery strictly dominates restart-from-scratch on wasted
+// pulses wherever a crash fired, and the corrupt-after-commit flavor forces
+// at least one detected-and-rejected checkpoint file.
+func TestCampaignInvariants(t *testing.T) {
+	results, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInvariants(results); err != nil {
+		t.Fatal(err)
+	}
+	sawCorruptRejection := false
+	for _, r := range results {
+		if r.Kills >= 2 && r.Rejected > 0 {
+			sawCorruptRejection = true
+		}
+		if r.Kills > 0 && r.Replayed == 0 {
+			t.Fatalf("arm %+v crashed but reports no replayed epochs", r)
+		}
+	}
+	if !sawCorruptRejection {
+		t.Fatal("corrupt-after-commit flavor never produced a rejected checkpoint")
+	}
+}
+
+// TestCampaignDeterministic: the same config yields the same table,
+// including the wear accounting.
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.KillRates = []int{2}
+	cfg.Levels = []float64{1}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("campaign not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestScheduleCoversAllFlavors sanity-checks the kill schedule shape.
+func TestScheduleCoversAllFlavors(t *testing.T) {
+	ks := schedule(4, 8)
+	if len(ks) != 4 {
+		t.Fatalf("want 4 kills, got %d", len(ks))
+	}
+	seen := map[string]bool{}
+	last := 0
+	for _, k := range ks {
+		seen[k.flavor] = true
+		if k.epoch < last {
+			t.Fatalf("kill epochs not monotone: %+v", ks)
+		}
+		last = k.epoch
+	}
+	for _, f := range killFlavors {
+		if !seen[f] {
+			t.Fatalf("flavor %s missing from schedule %+v", f, ks)
+		}
+	}
+}
+
+// TestFormatTable smoke-checks the rendering.
+func TestFormatTable(t *testing.T) {
+	s := FormatTable([]ArmResult{{Kills: 1, Every: 2, Level: 1, Crashes: 1,
+		Replayed: 2, WastedRec: 10, WastedScr: 100, Accuracy: 0.9, BitIdentical: true}})
+	if !strings.Contains(s, "YES") || !strings.Contains(s, "wasted-rec") {
+		t.Fatalf("table malformed:\n%s", s)
+	}
+}

@@ -1,0 +1,207 @@
+// Package ckpt makes long analog training runs crash-safe: versioned,
+// CRC-checksummed, atomically written checkpoints of the full training
+// state — per-layer device conductances (PCM G⁺/G⁻ legs included), trainer
+// accumulators, epoch position, and random-stream positions — plus a small
+// write-ahead log of per-epoch step records so recovery can pinpoint the
+// last durable epoch and report exactly how much work a crash destroyed.
+//
+// The durability protocol is the classic temp-file-plus-rename dance:
+//
+//  1. the checkpoint payload is written to a .tmp file and fsynced;
+//  2. an intent record naming the final file is appended to the WAL;
+//  3. the temp file is renamed over the final name and the directory is
+//     fsynced (the commit point — rename is atomic on POSIX);
+//  4. a commit record is appended to the WAL.
+//
+// A crash at any point leaves either the previous checkpoint intact (steps
+// 1–3) or the new one fully durable (after 3). Recovery never trusts a file
+// because the WAL names it: every candidate is re-validated against its
+// embedded CRC, and truncated or corrupted files are rejected in favour of
+// the previous good one.
+//
+// The paper's central workload (§II: on-device crossbar training) makes the
+// artifact being protected expensive — multi-epoch pulse sequences burn
+// device endurance — so the chaos campaign (internal/chaos, experiment R3)
+// measures recovery cost in replayed epochs and wasted pulses, not just
+// wall-clock.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/crossbar"
+)
+
+// Format constants. Version bumps whenever TrainingState's encoding
+// changes; readers reject versions they do not understand rather than
+// misdecode them.
+const (
+	magic   = "ANLGCKP1"
+	version = uint32(1)
+)
+
+// headerSize is magic + version + payload length + payload CRC.
+const headerSize = len(magic) + 4 + 8 + 4
+
+// ErrCorrupt marks a checkpoint file that failed validation — truncated,
+// bit-flipped, wrong magic, or undecodable. Recovery treats it as absent
+// and falls back; it is never loaded silently.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// LayerState carries the trainer-level extras of one network layer that
+// live outside the crossbar arrays: a zero-shift reference matrix, the
+// Tiki-Taka transfer position, a mixed-precision digital accumulator, or a
+// plain digital weight matrix. Kind-specific meaning is documented by the
+// exporter (internal/analog).
+type LayerState struct {
+	Kind   string
+	Ints   []int64
+	Floats [][]float64
+}
+
+// TrainingState is the complete resumable state of a training run at an
+// epoch boundary. Restoring it and re-running the remaining epochs yields a
+// bit-identical TrainResult to the uninterrupted run (pinned by
+// internal/analog's resume tests).
+type TrainingState struct {
+	// Epoch is the number of completed epochs; resume continues at Epoch.
+	Epoch int
+	// EpochLoss holds the per-epoch mean losses of epochs [0, Epoch).
+	EpochLoss []float64
+	// Arrays is the device state of every crossbar the session owns, in
+	// session creation order.
+	Arrays []crossbar.ArrayState
+	// Layers is per-layer trainer state in network layer order.
+	Layers []LayerState
+	// Extra carries the state of registered StateProviders (e.g. a
+	// mid-training fault engine), keyed by provider key.
+	Extra map[string][]byte
+}
+
+// StateProvider is extra run state that must ride along in checkpoints for
+// the run to be resumable — the canonical example is faults.Engine, whose
+// random stream and open-line registry must restore with the arrays.
+type StateProvider interface {
+	// StateKey names the provider's slot in TrainingState.Extra; keys must
+	// be unique within a run.
+	StateKey() string
+	// ExportState serializes the provider's current state.
+	ExportState() ([]byte, error)
+	// ImportState restores previously exported state.
+	ImportState([]byte) error
+}
+
+// CrashFn is the chaos-testing hook: the durability-critical code paths
+// call it (when non-nil) at named sites with a sequence number (the epoch
+// being persisted). A chaos harness panics from inside it to simulate a
+// crash at exactly that point; production runs leave it nil. Sites:
+//
+//	"mid-epoch"      — between two training samples (from internal/analog)
+//	"ckpt-mid-write" — half the checkpoint payload written to the temp file
+//	"wal-appended"   — intent logged, rename not yet performed
+//	"ckpt-committed" — rename durable, commit record written
+type CrashFn func(site string, seq int)
+
+// Crash is the panic value a chaos CrashFn raises; the campaign driver
+// recovers it and treats everything else as a real failure.
+type Crash struct {
+	Site string
+	Seq  int
+}
+
+// Error implements error so a recovered Crash can flow through error paths.
+func (c Crash) Error() string {
+	return fmt.Sprintf("simulated crash at %s (seq %d)", c.Site, c.Seq)
+}
+
+// encode serializes st with gob. Gob is self-describing and stable for a
+// fixed struct shape; the envelope CRC, not the encoding, provides
+// integrity.
+func encode(st *TrainingState) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("ckpt: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(payload []byte) (*TrainingState, error) {
+	st := &TrainingState{}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(st); err != nil {
+		return nil, fmt.Errorf("%w: payload undecodable: %v", ErrCorrupt, err)
+	}
+	return st, nil
+}
+
+// writeEnvelope writes the framed checkpoint to w: magic, version, payload
+// length, payload CRC32 (Castagnoli), payload. crash, when armed, fires
+// after half the payload — the torn-write point of a real power cut.
+func writeEnvelope(w io.Writer, payload []byte, epoch int, crash CrashFn) error {
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, version)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(payload)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	half := len(payload) / 2
+	if _, err := w.Write(payload[:half]); err != nil {
+		return err
+	}
+	if crash != nil {
+		crash("ckpt-mid-write", epoch)
+	}
+	_, err := w.Write(payload[half:])
+	return err
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ReadFile loads and validates one checkpoint file. Any deviation from the
+// format — short file, wrong magic, unknown version, length mismatch, CRC
+// mismatch, undecodable payload — returns an error wrapping ErrCorrupt, so
+// callers can distinguish corruption (fall back to an older file) from I/O
+// errors like a missing directory.
+func ReadFile(path string) (*TrainingState, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < headerSize {
+		return nil, fmt.Errorf("%w: %s: short header (%d bytes)", ErrCorrupt, path, len(raw))
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	off := len(magic)
+	ver := binary.LittleEndian.Uint32(raw[off:])
+	if ver != version {
+		return nil, fmt.Errorf("%w: %s: unsupported version %d", ErrCorrupt, path, ver)
+	}
+	off += 4
+	plen := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	sum := binary.LittleEndian.Uint32(raw[off:])
+	off += 4
+	payload := raw[off:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, header says %d",
+			ErrCorrupt, path, len(payload), plen)
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("%w: %s: CRC mismatch", ErrCorrupt, path)
+	}
+	st, err := decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, nil
+}

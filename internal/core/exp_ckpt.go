@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/chaos"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "R3",
+		Title: "Crash-safe resumable analog training: kill-point chaos campaign (§II-B, §IV-B.1)",
+		PaperClaim: "on-device crossbar training spends device endurance (pulse events), so a crashed " +
+			"run that restarts from scratch pays for every lost epoch in wear, not just time; durable " +
+			"checkpoints of the full device state (PCM conductance pairs included) bound the damage " +
+			"and resume bit-identically",
+		Run: runR3,
+	})
+}
+
+func runR3(w io.Writer, seed uint64, quick bool) error {
+	cfg := chaos.DefaultConfig(seed, quick)
+	fmt.Fprintf(w, "workload: %s on %s, %d epochs; kills spread evenly, flavors rotate\n",
+		cfg.Opts.Mode, cfg.Opts.Model.Name(), cfg.Exp.Epochs)
+	fmt.Fprintf(w, "kill flavors: mid-epoch, corrupt-after-commit, wal-appended (pre-rename), ckpt-mid-write\n")
+	fmt.Fprintf(w, "wasted pulses: recovery = lost since last good checkpoint; scratch = lost since run start\n\n")
+	results, err := chaos.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, chaos.FormatTable(results))
+	if err := chaos.CheckInvariants(results); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nall arms recovered bit-identically; recovery dominates scratch restart at every non-zero kill rate\n")
+	return nil
+}

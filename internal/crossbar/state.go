@@ -1,0 +1,207 @@
+package crossbar
+
+import (
+	"fmt"
+
+	"repro/internal/rngutil"
+)
+
+// DeviceState is the complete internal state of one crosspoint device in
+// plain serializable data: the technology kind plus kind-specific scalars
+// (for a PCM pair that is both legs G⁺ and G⁻ and the per-device increment
+// scale, not merely the effective weight — restoring the weight alone would
+// lose programming headroom and drift position).
+type DeviceState struct {
+	Kind string
+	F    []float64 // kind-specific floating-point state
+	N    []int64   // kind-specific counters (e.g. FeFET endurance consumed)
+}
+
+// StateCoder is implemented by devices whose full internal state can be
+// exported and restored exactly. Every device model in this package
+// implements it; the checkpoint subsystem (package ckpt) depends on it for
+// crash-safe training.
+type StateCoder interface {
+	// ExportState returns a noise-free copy of the device's internal state.
+	ExportState() DeviceState
+	// ImportState overwrites the device's internal state. It fails when the
+	// state was exported from a different device kind or shape.
+	ImportState(DeviceState) error
+}
+
+// Every device technology in the package is checkpointable.
+var (
+	_ StateCoder = (*linearStepDevice)(nil)
+	_ StateCoder = (*softBoundsDevice)(nil)
+	_ StateCoder = (*pcmPair)(nil)
+	_ StateCoder = (*fefetDevice)(nil)
+	_ StateCoder = (*ecramDevice)(nil)
+)
+
+func (st DeviceState) check(kind string, nf, nn int) error {
+	if st.Kind != kind {
+		return fmt.Errorf("crossbar: device state kind %q, want %q", st.Kind, kind)
+	}
+	if len(st.F) != nf || len(st.N) != nn {
+		return fmt.Errorf("crossbar: %s state shape %d/%d, want %d/%d",
+			kind, len(st.F), len(st.N), nf, nn)
+	}
+	return nil
+}
+
+// ExportState implements StateCoder.
+func (d *linearStepDevice) ExportState() DeviceState {
+	return DeviceState{Kind: "linear-step", F: []float64{d.w, d.scale}}
+}
+
+// ImportState implements StateCoder.
+func (d *linearStepDevice) ImportState(st DeviceState) error {
+	if err := st.check("linear-step", 2, 0); err != nil {
+		return err
+	}
+	d.w, d.scale = st.F[0], st.F[1]
+	return nil
+}
+
+// ExportState implements StateCoder.
+func (d *softBoundsDevice) ExportState() DeviceState {
+	return DeviceState{Kind: "soft-bounds", F: []float64{d.w, d.up, d.down}}
+}
+
+// ImportState implements StateCoder.
+func (d *softBoundsDevice) ImportState(st DeviceState) error {
+	if err := st.check("soft-bounds", 3, 0); err != nil {
+		return err
+	}
+	d.w, d.up, d.down = st.F[0], st.F[1], st.F[2]
+	return nil
+}
+
+// ExportState implements StateCoder: both PCM legs are captured, so a pair
+// exported mid-drift or near saturation restores with identical headroom.
+func (d *pcmPair) ExportState() DeviceState {
+	return DeviceState{Kind: "pcm", F: []float64{d.gp, d.gn, d.scale}}
+}
+
+// ImportState implements StateCoder.
+func (d *pcmPair) ImportState(st DeviceState) error {
+	if err := st.check("pcm", 3, 0); err != nil {
+		return err
+	}
+	d.gp, d.gn, d.scale = st.F[0], st.F[1], st.F[2]
+	return nil
+}
+
+// ExportState implements StateCoder: the wear counter rides along so a
+// restored device keeps its endurance budget.
+func (d *fefetDevice) ExportState() DeviceState {
+	return DeviceState{
+		Kind: "fefet",
+		F:    []float64{d.soft.w, d.soft.up, d.soft.down},
+		N:    []int64{d.pulses},
+	}
+}
+
+// ImportState implements StateCoder.
+func (d *fefetDevice) ImportState(st DeviceState) error {
+	if err := st.check("fefet", 3, 1); err != nil {
+		return err
+	}
+	d.soft.w, d.soft.up, d.soft.down = st.F[0], st.F[1], st.F[2]
+	d.pulses = st.N[0]
+	return nil
+}
+
+// ExportState implements StateCoder.
+func (d *ecramDevice) ExportState() DeviceState {
+	return DeviceState{Kind: "ecram", F: []float64{d.lin.w, d.lin.scale}}
+}
+
+// ImportState implements StateCoder.
+func (d *ecramDevice) ImportState(st DeviceState) error {
+	if err := st.check("ecram", 2, 0); err != nil {
+		return err
+	}
+	d.lin.w, d.lin.scale = st.F[0], st.F[1]
+	return nil
+}
+
+// ArrayState is the complete serializable state of an Array: every device's
+// internal state, the stuck map, the effective-weight mirror (which carries
+// the frozen values of corrupt stuck devices — they are not recoverable
+// from device state), the array's private random stream position, and the
+// operation counters. Round-tripping through Export/Import is exact: a
+// restored array continues bit-identically with the original.
+type ArrayState struct {
+	Rows, Cols int
+	Model      string
+	Devices    []DeviceState
+	Stuck      []bool
+	Mirror     []float64
+	RNG        rngutil.State
+	Counts     OpCounts
+}
+
+// ExportState captures the array's full state, noise-free — unlike Forward
+// it reads device state directly rather than through the periphery, the way
+// a chip controller addresses raw conductances for checkpointing.
+//
+// It takes the single-writer busy guard like every other array operation,
+// so a snapshot can never observe a torn write: callers serialize it with
+// reads the same way (see internal/serve.Replica, and the -race test
+// TestSnapshotDuringForwardReads).
+func (a *Array) ExportState() ArrayState {
+	a.acquire()
+	defer a.release()
+	st := ArrayState{
+		Rows:    a.rows,
+		Cols:    a.cols,
+		Model:   a.model.Name(),
+		Devices: make([]DeviceState, len(a.dev)),
+		Stuck:   append([]bool(nil), a.stuck...),
+		Mirror:  append([]float64(nil), a.w.Data...),
+		RNG:     a.rng.State(),
+		Counts:  a.Counts,
+	}
+	for i, d := range a.dev {
+		st.Devices[i] = d.(StateCoder).ExportState()
+	}
+	return st
+}
+
+// ImportState restores a previously exported state onto this array. The
+// array must have been built with the same shape and device model; the
+// import is rejected (with no partial mutation of device state) otherwise.
+func (a *Array) ImportState(st ArrayState) error {
+	a.acquire()
+	defer a.release()
+	if st.Rows != a.rows || st.Cols != a.cols {
+		return fmt.Errorf("crossbar: state is %dx%d, array is %dx%d",
+			st.Rows, st.Cols, a.rows, a.cols)
+	}
+	if st.Model != a.model.Name() {
+		return fmt.Errorf("crossbar: state from model %q, array is %q", st.Model, a.model.Name())
+	}
+	if len(st.Devices) != len(a.dev) || len(st.Stuck) != len(a.dev) || len(st.Mirror) != len(a.dev) {
+		return fmt.Errorf("crossbar: state arrays have %d/%d/%d entries, want %d",
+			len(st.Devices), len(st.Stuck), len(st.Mirror), len(a.dev))
+	}
+	// Validate every device state before mutating any, so a corrupt state
+	// cannot leave the array half-imported.
+	for i, d := range a.dev {
+		probe := d.(StateCoder).ExportState()
+		if err := st.Devices[i].check(probe.Kind, len(probe.F), len(probe.N)); err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+	}
+	for i, d := range a.dev {
+		if err := d.(StateCoder).ImportState(st.Devices[i]); err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+	}
+	copy(a.stuck, st.Stuck)
+	copy(a.w.Data, st.Mirror)
+	a.rng = rngutil.FromState(st.RNG)
+	a.Counts = st.Counts
+	return nil
+}

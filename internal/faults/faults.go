@@ -96,6 +96,7 @@ type Engine struct {
 	rng   *rngutil.Source
 	stats Stats
 	state map[*crossbar.Array]*arrayState
+	order []*crossbar.Array // attach order, for positional state export
 }
 
 // NewEngine builds a campaign engine for plan, seeded by rng.
@@ -123,6 +124,7 @@ func (e *Engine) Reset() {
 	e.rng = rngutil.New(e.seed)
 	e.stats = Stats{}
 	e.state = map[*crossbar.Array]*arrayState{}
+	e.order = nil
 }
 
 // Attach installs the engine as a's fault hook and begins tracking it.
@@ -148,6 +150,7 @@ func (e *Engine) stateOf(a *crossbar.Array) *arrayState {
 	if !ok {
 		s = &arrayState{openRows: map[int]bool{}, openCols: map[int]bool{}}
 		e.state[a] = s
+		e.order = append(e.order, a)
 	}
 	return s
 }

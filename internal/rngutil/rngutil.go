@@ -4,6 +4,12 @@
 // independent streams from a parent seed so that changing the amount of
 // randomness consumed by one component does not perturb another. This is the
 // property that makes the benchmark tables reproducible run-to-run.
+//
+// Streams are also *checkpointable*: every Source counts the values it has
+// drawn, so its exact position is the pair (seed, draws). State captures it
+// and FromState rebuilds a stream at the identical position by fast-forward,
+// which is what lets a crash-recovered training run continue bit-identically
+// with an uninterrupted one (package ckpt).
 package rngutil
 
 import (
@@ -11,16 +17,62 @@ import (
 	"math/rand"
 )
 
+// countingSource wraps the standard generator and counts how many values
+// have been drawn. Both Int63 and Uint64 advance the underlying generator by
+// exactly one step, so the count alone pins the stream position.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
 // Source is a deterministic random stream with the ability to derive
 // independent child streams by name.
 type Source struct {
 	seed uint64
+	cnt  *countingSource
 	*rand.Rand
 }
 
 // New returns a Source seeded with seed.
 func New(seed uint64) *Source {
-	return &Source{seed: seed, Rand: rand.New(rand.NewSource(int64(seed)))}
+	cnt := &countingSource{src: rand.NewSource(int64(seed)).(rand.Source64)}
+	return &Source{seed: seed, cnt: cnt, Rand: rand.New(cnt)}
+}
+
+// State is the exact position of a Source: the seed it was created with and
+// the number of values drawn since. It is plain data, safe to serialize.
+type State struct {
+	Seed  uint64
+	Draws uint64
+}
+
+// State captures the stream's current position.
+func (s *Source) State() State { return State{Seed: s.seed, Draws: s.cnt.n} }
+
+// FromState rebuilds a Source at exactly the captured position: the stream
+// it returns produces the same values the original would have produced next.
+// Restoring is O(Draws) — the generator is replayed — but each step is a few
+// nanoseconds, so even multi-epoch training positions restore in well under
+// a second.
+func FromState(st State) *Source {
+	s := New(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		s.cnt.src.Uint64()
+	}
+	s.cnt.n = st.Draws
+	return s
 }
 
 // Child derives an independent stream from this source's seed and a label.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"repro/internal/crossbar"
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/nn"
@@ -129,12 +130,38 @@ func MLPCampaign(cfg CampaignConfig) []ArmResult {
 	var results []ArmResult
 	for li, level := range cfg.Levels {
 		bases := campaignEngines(cfg, li, level)
+		// Program each replica's tiles once per level under its fault engine
+		// and snapshot the post-programming device + engine state; every
+		// policy arm then imports the snapshot instead of re-programming by
+		// pulses, so all arms face bit-identical programmed hardware with
+		// their fault schedules resumed from the same stream position.
+		type snapshot struct {
+			arrays []crossbar.ArrayState
+			engine []byte
+		}
+		snaps := make([]snapshot, cfg.Replicas)
+		for r := 0; r < cfg.Replicas; r++ {
+			eng := bases[r].Clone()
+			pipe := NewMLPPipeline(golden, canaryX, pcfg, eng.Attach,
+				rngutil.New(cfg.Seed+101*uint64(r)+13))
+			blob, err := eng.ExportState()
+			if err != nil {
+				panic(err)
+			}
+			snaps[r] = snapshot{arrays: pipe.ExportArrayStates(), engine: blob}
+		}
 		for _, pol := range cfg.Policies {
 			var reps []*Replica
 			for r := 0; r < cfg.Replicas; r++ {
 				eng := bases[r].Clone()
-				pipe := NewMLPPipeline(golden, canaryX, pcfg, eng.Attach,
-					rngutil.New(cfg.Seed+101*uint64(r)+13))
+				pipe, err := NewMLPPipelineFromState(golden, canaryX, pcfg, snaps[r].arrays,
+					eng.Attach, rngutil.New(cfg.Seed+101*uint64(r)+13))
+				if err != nil {
+					panic(err)
+				}
+				if err := eng.ImportState(snaps[r].engine); err != nil {
+					panic(err)
+				}
 				reps = append(reps, NewReplica(r, pipe, pol))
 			}
 			m := RunSim(SimConfig{

@@ -145,6 +145,57 @@ func NewMLPPipeline(golden *nn.MLP, canaryX []tensor.Vector, cfg MLPPipelineConf
 	return p
 }
 
+// ExportArrayStates snapshots the physical device state of every layer
+// array (spare columns included), noise-free, in layer order. Taken right
+// after programming — before any Repair has remapped columns — it captures
+// everything a twin replica needs to serve identically.
+func (p *MLPPipeline) ExportArrayStates() []crossbar.ArrayState {
+	states := make([]crossbar.ArrayState, len(p.arrays))
+	for i, arr := range p.arrays {
+		states[i] = arr.Arr.ExportState()
+	}
+	return states
+}
+
+// NewMLPPipelineFromState builds a replica from a post-programming snapshot
+// instead of re-programming the golden weights by pulses: the arrays are
+// constructed to shape and their device state imported directly. Campaign
+// arms use it so every policy faces the same programmed hardware without
+// paying (or re-randomizing) thousands of write pulses per arm. The
+// snapshot must come from ExportArrayStates taken before any column
+// remapping (the fresh remap table is identity).
+func NewMLPPipelineFromState(golden *nn.MLP, canaryX []tensor.Vector, cfg MLPPipelineConfig, states []crossbar.ArrayState, attach func(*crossbar.Array), rng *rngutil.Source) (*MLPPipeline, error) {
+	if cfg.SpareCols <= 0 {
+		cfg.SpareCols = 0.25
+	}
+	if len(states) != len(golden.Layers) {
+		return nil, fmt.Errorf("serve: snapshot has %d arrays, network has %d layers", len(states), len(golden.Layers))
+	}
+	p := &MLPPipeline{cfg: cfg, net: &nn.MLP{}}
+	for _, x := range canaryX {
+		p.canaryX = append(p.canaryX, x.Clone())
+		p.canaryY = append(p.canaryY, golden.Forward(x).Clone())
+	}
+	for li, l := range golden.Layers {
+		src := l.W.(*nn.DenseMat).M.Clone()
+		spares := tensor.MaxInt(2, int(float64(l.W.Cols())*cfg.SpareCols))
+		arr := faults.NewRemappedArray(l.W.Rows(), l.W.Cols(), spares, cfg.Model, cfg.Array,
+			rng.Child(fmt.Sprintf("layer%d", li)))
+		if attach != nil {
+			attach(arr.Arr)
+		}
+		if err := arr.Arr.ImportState(states[li]); err != nil {
+			return nil, fmt.Errorf("serve: layer %d: %w", li, err)
+		}
+		p.arrays = append(p.arrays, arr)
+		p.golden = append(p.golden, src)
+		p.net.Layers = append(p.net.Layers, &nn.DenseLayer{
+			In: l.In, Out: l.Out, Bias: l.Bias, Act: l.Act, W: arr,
+		})
+	}
+	return p, nil
+}
+
 // Infer implements Pipeline.
 func (p *MLPPipeline) Infer(x tensor.Vector, verify bool) (tensor.Vector, bool) {
 	y := p.net.Forward(x).Clone()
