@@ -1,14 +1,24 @@
 GO ?= go
 
-.PHONY: all build vet test race check campaign serve-campaign train-campaign
+.PHONY: all build fmt vet lint test race check smoke determinism \
+	bench-quick bench-baseline campaign serve-campaign train-campaign
 
-all: check
+# The full CI gate: every ci.yml job body is a target here, so `make all`
+# locally reproduces exactly what CI enforces.
+all: check smoke determinism bench-quick
 
 build:
 	$(GO) build ./...
 
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+lint: fmt vet
 
 test:
 	$(GO) test ./...
@@ -16,8 +26,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The gate CI runs: vet + build + race-enabled tests.
-check: vet build race
+# The core CI gate: formatting + vet + build + race-enabled tests.
+check: lint build race
+
+# The campaign/checkpoint smoke legs CI runs beyond `check`.
+smoke:
+	$(GO) test -race -count=1 ./internal/serve/...
+	$(GO) run ./cmd/serve-campaign -quick
+	$(GO) test -count=1 ./internal/ckpt/... ./internal/chaos/...
+	$(GO) run ./cmd/train-campaign -smoke
+
+# Campaign outputs must be byte-identical at every tile-engine worker
+# count (the internal/par determinism contract).
+determinism:
+	$(GO) run ./cmd/serve-campaign -quick -workers 1 > /tmp/serve.w1.txt
+	$(GO) run ./cmd/serve-campaign -quick -workers 4 > /tmp/serve.w4.txt
+	cmp /tmp/serve.w1.txt /tmp/serve.w4.txt
+	$(GO) run ./cmd/train-campaign -smoke -workers 1 > /tmp/train.w1.txt
+	$(GO) run ./cmd/train-campaign -smoke -workers 4 > /tmp/train.w4.txt
+	cmp /tmp/train.w1.txt /tmp/train.w4.txt
+
+# Quick benchmark pass: writes a fresh BENCH_PR4.json next to the committed
+# baseline (as BENCH_PR4.ci.json), gates normalized regressions at 25%, and
+# requires the headline 512-wide forward speedup to hold.
+bench-quick:
+	$(GO) run ./cmd/bench-report -benchtime 0.3s -workers 4 \
+		-out BENCH_PR4.ci.json -baseline BENCH_PR4.json \
+		-tolerance 0.25 -min-speedup 2.0
+
+# Regenerate the committed benchmark baseline (slow, full benchtime).
+bench-baseline:
+	$(GO) run ./cmd/bench-report -benchtime 1s -workers 4 -out BENCH_PR4.json
 
 # Regenerate the R1 fault-campaign tables (full size, fixed seed).
 campaign:

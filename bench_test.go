@@ -24,6 +24,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/lsh"
 	"repro/internal/mann"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/quant"
 	"repro/internal/recsys"
@@ -282,5 +283,60 @@ func BenchmarkMicroGPUCostModel(b *testing.B) {
 	g := perfmodel.DefaultGPU()
 	for i := 0; i < b.N; i++ {
 		g.MatVec(4096, 128)
+	}
+}
+
+// --- tile-engine kernels (serial reference vs internal/par) ---
+//
+// The machine-readable version of these numbers — at 128/512/1024 with the
+// regression gate — comes from cmd/bench-report (BENCH_PR4.json); these
+// keep the comparison visible in the ordinary `go test -bench` flow.
+
+func kernelFixture(n int) (*tensor.Matrix, tensor.Vector) {
+	rng := rngutil.New(uint64(9000 + n))
+	m := tensor.NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	x := make(tensor.Vector, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return m, x
+}
+
+func BenchmarkKernelForwardSerial512(b *testing.B) {
+	m, x := kernelFixture(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(x)
+	}
+}
+
+func BenchmarkKernelForwardParallel512(b *testing.B) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(4)
+	m, x := kernelFixture(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.MatVec(m, x)
+	}
+}
+
+func BenchmarkKernelBackwardSerial512(b *testing.B) {
+	m, x := kernelFixture(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVecT(x)
+	}
+}
+
+func BenchmarkKernelBackwardParallel512(b *testing.B) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(4)
+	m, x := kernelFixture(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.MatVecT(m, x)
 	}
 }

@@ -1,0 +1,247 @@
+// Command bench-report measures the serial reference kernels against the
+// internal/par tile engine at 128/512/1024-wide arrays and writes the
+// results as machine-readable JSON (BENCH_PR4.json) — the repository's
+// performance baseline.
+//
+// "Serial" is the scalar reference path the simulator ran before the tile
+// engine existed: tensor.Matrix.MatVec / MatVecT, one goroutine, one
+// accumulator, ascending index order. "Parallel" is the engine path the
+// simulator runs now (crossbar.Array ops at the requested -workers). The
+// two are bit-identical in output; this report tracks only their speed.
+//
+// With -baseline it compares against a previously committed report and
+// exits non-zero if any tracked benchmark regressed more than -tolerance.
+// Raw ns/op is not comparable across machines, so the gate normalizes every
+// benchmark by the run's own calibration benchmark (the serial 256×256
+// MVM): a regression means "got slower relative to this machine's scalar
+// baseline", which is portable. -min-speedup additionally gates the
+// headline forward speedup at 512.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/crossbar"
+	"repro/internal/par"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_PR4.json schema.
+type Report struct {
+	Schema     string `json:"schema"`
+	Workers    int    `json:"workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CalibrationNsPerOp is the serial 256×256 MVM on this machine; the
+	// regression gate divides every benchmark by it so reports taken on
+	// different hardware remain comparable.
+	CalibrationNsPerOp float64  `json:"calibration_ns_per_op"`
+	Benchmarks         []Result `json:"benchmarks"`
+	// SpeedupForward512 is serial/parallel ns at 512 — the headline number.
+	SpeedupForward512 float64 `json:"speedup_forward_512"`
+}
+
+func measure(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// fill seeds a matrix and vectors with the size-keyed deterministic values
+// every run of this tool uses.
+func fill(n int) (*tensor.Matrix, tensor.Vector, tensor.Vector) {
+	rng := rngutil.New(uint64(4000 + n))
+	m := tensor.NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	x := make(tensor.Vector, n)
+	u := make(tensor.Vector, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		u[i] = rng.NormFloat64()
+	}
+	return m, x, u
+}
+
+func newArray(n int) *crossbar.Array {
+	return crossbar.NewArray(n, n, crossbar.Ideal(), crossbar.DefaultConfig(), rngutil.New(uint64(5000+n)))
+}
+
+func run(workers int) Report {
+	rep := Report{Schema: "bench-report/v1", Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	calib := measure("calibration_serial_matvec_256", func(b *testing.B) {
+		b.ReportAllocs()
+		m, x, _ := fill(256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.MatVec(x)
+		}
+	})
+	rep.CalibrationNsPerOp = calib.NsPerOp
+	rep.Benchmarks = append(rep.Benchmarks, calib)
+
+	byName := map[string]float64{}
+	for _, n := range []int{128, 512, 1024} {
+		serialF := measure(fmt.Sprintf("forward_serial_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			m, x, _ := fill(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MatVec(x)
+			}
+		})
+		serialB := measure(fmt.Sprintf("backward_serial_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			m, _, u := fill(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MatVecT(u)
+			}
+		})
+		par.SetWorkers(workers)
+		parF := measure(fmt.Sprintf("forward_parallel_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			_, x, _ := fill(n)
+			arr := newArray(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arr.Forward(x)
+			}
+		})
+		parB := measure(fmt.Sprintf("backward_parallel_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			_, _, u := fill(n)
+			arr := newArray(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				arr.Backward(u)
+			}
+		})
+		// The update has no pre-engine scalar twin kernel (the pulse loop IS
+		// the kernel), so serial-vs-parallel is the same tiled code at one
+		// worker vs the requested count.
+		par.SetWorkers(1)
+		updS := measure(fmt.Sprintf("update_serial_%d", n), benchUpdate(n))
+		par.SetWorkers(workers)
+		updP := measure(fmt.Sprintf("update_parallel_%d", n), benchUpdate(n))
+		par.SetWorkers(0)
+		for _, r := range []Result{serialF, serialB, parF, parB, updS, updP} {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			byName[r.Name] = r.NsPerOp
+		}
+	}
+	if p := byName["forward_parallel_512"]; p > 0 {
+		rep.SpeedupForward512 = byName["forward_serial_512"] / p
+	}
+	return rep
+}
+
+func benchUpdate(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		_, x, u := fill(n)
+		arr := newArray(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			arr.Update(0.001, u, x)
+		}
+	}
+}
+
+// gate compares cur against base, normalizing by each report's calibration
+// benchmark, and returns the tracked benchmarks that regressed beyond tol.
+func gate(cur, base Report, tol float64) []string {
+	baseNs := map[string]float64{}
+	for _, r := range base.Benchmarks {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	var bad []string
+	for _, r := range cur.Benchmarks {
+		old, ok := baseNs[r.Name]
+		if !ok || old <= 0 || base.CalibrationNsPerOp <= 0 || cur.CalibrationNsPerOp <= 0 {
+			continue
+		}
+		normNew := r.NsPerOp / cur.CalibrationNsPerOp
+		normOld := old / base.CalibrationNsPerOp
+		if normNew > normOld*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: %.3f vs baseline %.3f (normalized, +%.0f%%)",
+				r.Name, normNew, normOld, 100*(normNew/normOld-1)))
+		}
+	}
+	return bad
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench-report: ")
+	testing.Init()
+	out := flag.String("out", "BENCH_PR4.json", "output path for the JSON report")
+	workers := flag.Int("workers", 4, "tile-engine worker count for the parallel benchmarks")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time (testing -benchtime syntax)")
+	baseline := flag.String("baseline", "", "committed baseline JSON to gate against (empty = no gate)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed normalized regression before the gate fails")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless forward 512 speedup reaches this (0 = no gate)")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := run(*workers)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, workers=%d, forward 512 speedup %.2fx)\n",
+		*out, len(rep.Benchmarks), rep.Workers, rep.SpeedupForward512)
+
+	failed := false
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			log.Fatalf("parse %s: %v", *baseline, err)
+		}
+		if bad := gate(rep, base, *tolerance); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", b)
+			}
+			failed = true
+		} else {
+			fmt.Printf("no regressions beyond %.0f%% against %s\n", *tolerance*100, *baseline)
+		}
+	}
+	if *minSpeedup > 0 && rep.SpeedupForward512 < *minSpeedup {
+		fmt.Fprintf(os.Stderr, "REGRESSION forward 512 speedup %.2fx below required %.2fx\n",
+			rep.SpeedupForward512, *minSpeedup)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

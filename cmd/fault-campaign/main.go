@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/par"
 )
 
 func parseRates(s string) ([]float64, error) {
@@ -42,7 +43,9 @@ func main() {
 	pipeline := flag.String("pipeline", "all", "which sweep to run: analog, xmann, tcam, or all")
 	placements := flag.Int("placements", 0, "fault placements averaged per point (0 = default)")
 	writefail := flag.Float64("writefail", -1, "pulse-train drop probability during programming (<0 = default)")
+	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	cfg := faults.DefaultSweepConfig(*seed, *quick)
 	if *rates != "" {

@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 func main() {
@@ -16,7 +17,9 @@ func main() {
 	log.SetPrefix("repro-all: ")
 	seed := flag.Uint64("seed", 1234, "experiment seed")
 	quick := flag.Bool("quick", false, "run reduced-size variants")
+	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	if err := core.RunAll(os.Stdout, *seed, *quick); err != nil {
 		log.Fatal(err)

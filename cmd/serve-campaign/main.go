@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/serve"
 )
 
@@ -27,7 +28,9 @@ func main() {
 	replicas := flag.Int("replicas", 0, "replica pool size (0 = default)")
 	rate := flag.Float64("rate", 0, "arrival rate in requests/s (0 = default)")
 	duration := flag.Float64("duration", 0, "arrival window in virtual seconds (0 = default)")
+	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	cfg := serve.DefaultCampaignConfig(*seed, *quick)
 	if *replicas > 0 {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 func main() {
@@ -27,7 +28,9 @@ func main() {
 	seed := flag.Uint64("seed", 1234, "campaign seed (same seed = identical tables)")
 	quick := flag.Bool("quick", false, "run the reduced-size variant")
 	smoke := flag.Bool("smoke", false, "minimal CI run: one killed arm, invariants checked")
+	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	if *smoke {
 		cfg := chaos.DefaultConfig(*seed, true)

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"repro/internal/par"
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
 )
@@ -156,6 +157,12 @@ func (a *Array) Cols() int { return a.cols }
 // Model returns the device model backing the array.
 func (a *Array) Model() Model { return a.model }
 
+// OpOrderPinned implements nn.OrderPinned: while a fault hook is attached,
+// batched callers must replay the exact per-sample op order of the
+// sequential path, because hook state is order-sensitive and typically
+// shared across the arrays of one network.
+func (a *Array) OpOrderPinned() bool { return a.hook != nil }
+
 // Weights returns a snapshot of the current (noiseless) device weights.
 func (a *Array) Weights() *tensor.Matrix { return a.w.Clone() }
 
@@ -185,10 +192,21 @@ func (a *Array) irFactor() float64 {
 }
 
 // Forward implements nn.Mat: one analog MVM y = W·x with DAC quantization,
-// read noise, IR-drop attenuation, and ADC quantization.
+// read noise, IR-drop attenuation, and ADC quantization. The MVM executes
+// as row tiles across the par worker pool — all tiles of a crossbar compute
+// in parallel in hardware (§II-A), and the software mirrors that — while
+// the periphery (DAC, hook callbacks, read noise from the array's private
+// stream, ADC) stays on the calling goroutine, so results are bit-identical
+// at every worker count.
 func (a *Array) Forward(x tensor.Vector) tensor.Vector {
 	a.acquire()
 	defer a.release()
+	return a.forwardLocked(x)
+}
+
+// forwardLocked is the Forward body, callable while the periphery is
+// already owned (batched reads issue many of these under one acquire).
+func (a *Array) forwardLocked(x tensor.Vector) tensor.Vector {
 	if len(x) != a.cols {
 		panic(fmt.Sprintf("crossbar: Forward expects %d inputs, got %d", a.cols, len(x)))
 	}
@@ -205,7 +223,7 @@ func (a *Array) Forward(x tensor.Vector) tensor.Vector {
 	if a.hook != nil {
 		a.hook.FilterInput(a, OpForward, xin)
 	}
-	y := a.w.MatVec(xin)
+	y := par.MatVec(a.w, xin)
 	a.finishRead(y)
 	if a.hook != nil {
 		a.hook.FilterOutput(a, OpForward, y)
@@ -213,6 +231,55 @@ func (a *Array) Forward(x tensor.Vector) tensor.Vector {
 	a.Counts.Forwards++
 	a.Counts.DigitalMACs += int64(a.rows) * int64(a.cols)
 	return y
+}
+
+// ForwardBatch runs one analog MVM per input under a single periphery
+// acquisition — the batched read used by serving pipelines and evaluation
+// loops. Results are bit-identical to calling Forward on each input in
+// order: the MVMs of the whole batch execute as one (sample × row-tile)
+// parallel grid, then the periphery randomness (read noise) is drawn
+// serially per sample in index order, exactly the sequence the one-by-one
+// path draws. With a fault hook installed the batch degrades to sequential
+// forwards so the hook observes the same well-formed op stream either way.
+func (a *Array) ForwardBatch(xs []tensor.Vector) []tensor.Vector {
+	a.acquire()
+	defer a.release()
+	ys := make([]tensor.Vector, len(xs))
+	if a.hook != nil {
+		for s, x := range xs {
+			ys[s] = a.forwardLocked(x)
+		}
+		return ys
+	}
+	for s, x := range xs {
+		if len(x) != a.cols {
+			panic(fmt.Sprintf("crossbar: ForwardBatch expects %d inputs, got %d (sample %d)", a.cols, len(x), s))
+		}
+		ys[s] = make(tensor.Vector, a.rows)
+	}
+	xin := xs
+	if a.cfg.DACBits > 0 {
+		xin = make([]tensor.Vector, len(xs))
+		for s, x := range xs {
+			q := make(tensor.Vector, len(x))
+			for j, v := range x {
+				q[j] = quantize(v, a.cfg.DACBits, a.cfg.InputRange)
+			}
+			xin[s] = q
+		}
+	}
+	rowTiles := par.Tiles(a.rows)
+	par.Run(len(xs)*rowTiles, func(g int) {
+		s, t := g/rowTiles, g%rowTiles
+		lo, hi := par.Bounds(t, a.rows)
+		par.ForwardTile(a.w, xin[s], ys[s], lo, hi)
+	})
+	for _, y := range ys {
+		a.finishRead(y)
+		a.Counts.Forwards++
+		a.Counts.DigitalMACs += int64(a.rows) * int64(a.cols)
+	}
+	return ys
 }
 
 // Backward implements nn.Mat: the transposed MVM yᵀ = Wᵀ·d obtained by
@@ -236,7 +303,7 @@ func (a *Array) Backward(d tensor.Vector) tensor.Vector {
 	if a.hook != nil {
 		a.hook.FilterInput(a, OpBackward, din)
 	}
-	y := a.w.MatVecT(din)
+	y := par.MatVecT(a.w, din)
 	a.finishRead(y)
 	if a.hook != nil {
 		a.hook.FilterOutput(a, OpBackward, y)
@@ -285,11 +352,51 @@ func (a *Array) Update(scale float64, u, v tensor.Vector) {
 	}
 }
 
+// tileRNG derives the deterministic pulse-noise stream for one row tile of
+// the current update operation. The stream is keyed by the array's base
+// seed, the update counter, and the tile index — never by execution order —
+// so a tile draws the identical sequence whether tiles run on one worker or
+// eight, and whether the run is fresh or resumed from a checkpoint (the
+// counter is part of ArrayState).
+func (a *Array) tileRNG(t int) *rngutil.Source {
+	return a.rng.Sub(uint64(a.Counts.Updates), uint64(t))
+}
+
+// runUpdateTiles executes one tiled update pass over the row tiles of the
+// array. Without a fault hook the tiles run on the par worker pool (each
+// tile touches a disjoint row range of devices and weight mirror, and
+// draws only from its own tileRNG stream). With a hook installed the tiles
+// run sequentially in tile order on the calling goroutine — the hook's
+// per-op ordering guarantee (see FaultHook) must hold, and hooks keep
+// private random streams that are not tile-keyed — which by the
+// determinism contract produces the identical result. Per-tile pulse
+// counts are reduced into Counts.Pulses in fixed tile order.
+func (a *Array) runUpdateTiles(fn func(t, lo, hi int, rng *rngutil.Source) int64) {
+	tiles := par.Tiles(a.rows)
+	pulses := make([]int64, tiles)
+	run := par.Run
+	if a.hook != nil {
+		run = par.RunSeq
+	}
+	run(tiles, func(t int) {
+		lo, hi := par.Bounds(t, a.rows)
+		pulses[t] = fn(t, lo, hi, a.tileRNG(t))
+	})
+	for _, n := range pulses {
+		a.Counts.Pulses += n
+	}
+}
+
 // updateStochastic implements the Fig. 1 (right) scheme: each row i carries
 // a Bernoulli(p_i) pulse train, each column j a Bernoulli(q_j) train, over
 // BL slots; a crosspoint steps once per coincident slot. The amplification
 // factors are chosen so that E[Δw_ij] = scale·u_i·v_j when probabilities do
 // not saturate.
+//
+// The pulse trains draw from the array's serial stream (O(rows+cols) work),
+// then the O(rows·cols) coincidence/pulse pass runs as row tiles on the
+// worker pool, each tile drawing its cycle noise from its own tileRNG
+// stream.
 func (a *Array) updateStochastic(scale float64, u, v tensor.Vector) {
 	bl := a.cfg.BL
 	dw := a.model.MeanStep()
@@ -303,22 +410,26 @@ func (a *Array) updateStochastic(scale float64, u, v tensor.Vector) {
 		colTrains[j] = a.train(math.Abs(vj) * c)
 	}
 	sgnScale := math.Signbit(scale)
-	for i := 0; i < a.rows; i++ {
-		rt := rowTrains[i]
-		if rt == 0 {
-			continue
-		}
-		upRow := math.Signbit(u[i]) == sgnScale // sign(u_i·scale) > 0
-		base := i * a.cols
-		for j := 0; j < a.cols; j++ {
-			k := bits.OnesCount64(rt & colTrains[j])
-			if k == 0 {
+	a.runUpdateTiles(func(_, lo, hi int, rng *rngutil.Source) int64 {
+		var n int64
+		for i := lo; i < hi; i++ {
+			rt := rowTrains[i]
+			if rt == 0 {
 				continue
 			}
-			up := upRow == !math.Signbit(v[j]) // XOR with sign(v_j)
-			a.pulse(base+j, k, up)
+			upRow := math.Signbit(u[i]) == sgnScale // sign(u_i·scale) > 0
+			base := i * a.cols
+			for j := 0; j < a.cols; j++ {
+				k := bits.OnesCount64(rt & colTrains[j])
+				if k == 0 {
+					continue
+				}
+				up := upRow == !math.Signbit(v[j]) // XOR with sign(v_j)
+				n += a.pulseFrom(rng, base+j, k, up)
+			}
 		}
-	}
+		return n
+	})
 }
 
 // train samples a BL-slot Bernoulli(p) pulse train as a bitmask.
@@ -339,48 +450,63 @@ func (a *Array) train(p float64) uint64 {
 }
 
 // updateExpected applies round-to-pulse updates: n_ij = |scale·u_i·v_j|/Δw
-// pulses with stochastic rounding of the fractional part.
+// pulses with stochastic rounding of the fractional part. The rounding
+// draws and the pulse cycle noise both come from the tile's keyed stream.
 func (a *Array) updateExpected(scale float64, u, v tensor.Vector) {
 	dw := a.model.MeanStep()
-	for i, ui := range u {
-		if ui == 0 {
-			continue
-		}
-		base := i * a.cols
-		su := scale * ui
-		for j, vj := range v {
-			if vj == 0 {
+	a.runUpdateTiles(func(_, lo, hi int, rng *rngutil.Source) int64 {
+		var pulses int64
+		for i := lo; i < hi; i++ {
+			ui := u[i]
+			if ui == 0 {
 				continue
 			}
-			target := su * vj
-			n := math.Abs(target) / dw
-			k := int(n)
-			if a.rng.Float64() < n-float64(k) {
-				k++
+			base := i * a.cols
+			su := scale * ui
+			for j, vj := range v {
+				if vj == 0 {
+					continue
+				}
+				target := su * vj
+				n := math.Abs(target) / dw
+				k := int(n)
+				if rng.Float64() < n-float64(k) {
+					k++
+				}
+				if k == 0 {
+					continue
+				}
+				pulses += a.pulseFrom(rng, base+j, k, target > 0)
 			}
-			if k == 0 {
-				continue
-			}
-			a.pulse(base+j, k, target > 0)
 		}
-	}
+		return pulses
+	})
 }
 
-// pulse applies k pulses to device idx (skipping stuck devices, routing
-// through the fault hook's write path) and refreshes the weight mirror.
-func (a *Array) pulse(idx, k int, up bool) {
+// pulseFrom applies k pulses to device idx (skipping stuck devices, routing
+// through the fault hook's write path), drawing cycle noise from rng, and
+// refreshes the weight mirror. It returns the pulses actually issued so
+// tile-parallel callers can reduce counts in deterministic order.
+func (a *Array) pulseFrom(rng *rngutil.Source, idx, k int, up bool) int64 {
 	if a.stuck[idx] {
-		return
+		return 0
 	}
 	if a.hook != nil {
 		k = a.hook.FilterPulses(a, idx/a.cols, idx%a.cols, k, up)
 		if k <= 0 {
-			return
+			return 0
 		}
 	}
-	a.dev[idx].Pulse(k, up, a.rng)
+	a.dev[idx].Pulse(k, up, rng)
 	a.w.Data[idx] = a.dev[idx].Weight()
-	a.Counts.Pulses += int64(k)
+	return int64(k)
+}
+
+// pulse is the serial path (programming, single-device addressing): noise
+// draws come from the array's own stream and the count lands directly on
+// Counts.Pulses.
+func (a *Array) pulse(idx, k int, up bool) {
+	a.Counts.Pulses += a.pulseFrom(a.rng, idx, k, up)
 }
 
 // UpdateDeviceExact applies exactly k pulses in the given direction to

@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crossbar"
+	"repro/internal/par"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+func parVec(n, zeroEvery int, rng *rngutil.Source) tensor.Vector {
+	v := make(tensor.Vector, n)
+	for i := range v {
+		if zeroEvery > 0 && i%zeroEvery == 0 {
+			continue
+		}
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// runHookedScript drives a fixed op mix through an engine-hooked remapped
+// array — forwards, backwards, both pulse-update flavours, and a repair
+// pass — and returns every output plus the physical array state.
+func runHookedScript() ([]tensor.Vector, crossbar.ArrayState) {
+	plan := Plan{StuckPerOp: 0.3, ReadUpset: 0.01, UpsetMag: 0.5, WriteFail: 0.05}
+	eng := NewEngine(plan, rngutil.New(31))
+	arr := NewRemappedArray(80, 70, 6, crossbar.RRAM(), crossbar.DefaultConfig(), rngutil.New(17))
+	eng.Attach(arr.Arr)
+	data := rngutil.New(5)
+	target := tensor.NewMatrix(80, 70)
+	for i := range target.Data {
+		target.Data[i] = data.Uniform(-0.4, 0.4)
+	}
+	var outs []tensor.Vector
+	for step := 0; step < 3; step++ {
+		x := parVec(70, 6, data)
+		outs = append(outs, arr.Forward(x))
+		outs = append(outs, arr.Backward(parVec(80, 5, data)))
+		arr.Update(0.02, parVec(80, 4, data), parVec(70, 3, data))
+		outs = append(outs, arr.Forward(x))
+	}
+	arr.Repair(target, 0, 50)
+	outs = append(outs, arr.Forward(parVec(70, 0, data)))
+	return outs, arr.Arr.ExportState()
+}
+
+// TestHookedOpsWorkerCountInvariance pins determinism under an active
+// fault-injection hook: with an Engine attached, tiled updates run
+// sequentially in tile order and batched reads degrade to the per-sample
+// stream, so the whole fault campaign — stuck failures, read upsets,
+// dropped writes, repair — must be bit-identical at every worker count.
+func TestHookedOpsWorkerCountInvariance(t *testing.T) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(1)
+	wantOuts, wantState := runHookedScript()
+	for _, w := range []int{4, 8} {
+		par.SetWorkers(w)
+		gotOuts, gotState := runHookedScript()
+		for o := range wantOuts {
+			for i := range wantOuts[o] {
+				if math.Float64bits(gotOuts[o][i]) != math.Float64bits(wantOuts[o][i]) {
+					t.Fatalf("workers=%d: output %d element %d diverged under active hook", w, o, i)
+				}
+			}
+		}
+		if len(gotState.Devices) != len(wantState.Devices) {
+			t.Fatalf("workers=%d: device state size diverged", w)
+		}
+		for i := range wantState.Mirror {
+			if math.Float64bits(gotState.Mirror[i]) != math.Float64bits(wantState.Mirror[i]) {
+				t.Fatalf("workers=%d: weight mirror diverged at %d under active hook", w, i)
+			}
+		}
+		if gotState.RNG != wantState.RNG || gotState.Counts != wantState.Counts {
+			t.Fatalf("workers=%d: rng/counters diverged under active hook", w)
+		}
+	}
+}
+
+// TestRemappedForwardBatchMatchesSequential verifies the logical batched
+// read: scatter to physical geometry plus the tiled batch grid must equal
+// per-sample Forward calls bit for bit, with and without relocated columns.
+func TestRemappedForwardBatchMatchesSequential(t *testing.T) {
+	defer par.SetWorkers(0)
+	data := rngutil.New(9)
+	xs := make([]tensor.Vector, 7)
+	for s := range xs {
+		xs[s] = parVec(40, 3, data)
+	}
+	build := func() *RemappedArray {
+		cfg := crossbar.DefaultConfig()
+		cfg.StuckFraction = 0.1
+		return NewRemappedArray(30, 40, 4, crossbar.Ideal(), cfg, rngutil.New(23))
+	}
+	seq := build()
+	var want []tensor.Vector
+	for _, x := range xs {
+		want = append(want, seq.Forward(x))
+	}
+	for _, w := range []int{1, 8} {
+		par.SetWorkers(w)
+		bat := build()
+		for s, y := range bat.ForwardBatch(xs) {
+			for i := range y {
+				if math.Float64bits(y[i]) != math.Float64bits(want[s][i]) {
+					t.Fatalf("workers=%d: batched sample %d element %d diverged", w, s, i)
+				}
+			}
+		}
+	}
+}

@@ -58,6 +58,10 @@ func (r *RemappedArray) Cols() int { return r.logical }
 // SparesLeft reports the remaining redundant columns.
 func (r *RemappedArray) SparesLeft() int { return len(r.spares) }
 
+// OpOrderPinned implements nn.OrderPinned by delegating to the physical
+// array (pinned while a fault hook is attached).
+func (r *RemappedArray) OpOrderPinned() bool { return r.Arr.OpOrderPinned() }
+
 // mapIn scatters a logical column vector onto the physical columns;
 // retired and unused spare columns receive zero input, so whatever their
 // stuck devices hold can never reach an output.
@@ -75,6 +79,20 @@ func (r *RemappedArray) Forward(x tensor.Vector) tensor.Vector {
 		panic(fmt.Sprintf("faults: Forward expects %d inputs, got %d", r.logical, len(x)))
 	}
 	return r.Arr.Forward(r.mapIn(x))
+}
+
+// ForwardBatch implements nn.BatchMat: the whole batch is scattered to
+// physical geometry and executed as one tile grid under a single periphery
+// acquisition. Bit-identical to sequential Forward calls.
+func (r *RemappedArray) ForwardBatch(xs []tensor.Vector) []tensor.Vector {
+	xp := make([]tensor.Vector, len(xs))
+	for s, x := range xs {
+		if len(x) != r.logical {
+			panic(fmt.Sprintf("faults: ForwardBatch expects %d inputs, got %d (sample %d)", r.logical, len(x), s))
+		}
+		xp[s] = r.mapIn(x)
+	}
+	return r.Arr.ForwardBatch(xp)
 }
 
 // Backward implements nn.Mat: the physical transposed MVM followed by a

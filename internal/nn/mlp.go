@@ -69,6 +69,26 @@ func (l *DenseLayer) Forward(x tensor.Vector) tensor.Vector {
 	return l.y
 }
 
+// ForwardBatch runs the layer on a batch of inputs through the weight
+// storage's batched MVM path, without touching the Backward caches — the
+// inference path used by evaluation loops and serving pipelines. Outputs
+// are bit-identical to calling Forward on each input in order.
+func (l *DenseLayer) ForwardBatch(xs []tensor.Vector) []tensor.Vector {
+	ext := make([]tensor.Vector, len(xs))
+	for i, x := range xs {
+		if len(x) != l.In {
+			panic(fmt.Sprintf("nn: layer expects %d inputs, got %d (sample %d)", l.In, len(x), i))
+		}
+		ext[i] = l.extend(x)
+	}
+	zs := ForwardBatch(l.W, ext)
+	ys := make([]tensor.Vector, len(zs))
+	for i, z := range zs {
+		ys[i] = l.Act.apply(z)
+	}
+	return ys
+}
+
 // Backward consumes dL/dy and returns dL/dx for the layer below, applying
 // the weight update W += -lr·(δ ⊗ x) in the same pass (lr == 0 skips the
 // update, e.g. for inference-only sensitivity analysis).
@@ -141,17 +161,43 @@ func (m *MLP) TrainStep(x tensor.Vector, label int, lr float64) float64 {
 	return loss
 }
 
+// ForwardBatch runs the full stack on a batch of inputs through each
+// layer's batched MVM path. Outputs are bit-identical to calling Forward on
+// each input in order: per layer the batched MVMs preserve the sequential
+// summation order and periphery-randomness sequence, and when any layer's
+// weight storage pins its op order (a crossbar with a fault hook attached,
+// whose hook state is shared across layers and order-sensitive) the whole
+// batch falls back to the literal per-sample sequential stream. Layer
+// Backward caches are untouched on the batched path but clobbered on the
+// fallback, as with any Forward.
+func (m *MLP) ForwardBatch(xs []tensor.Vector) []tensor.Vector {
+	for _, l := range m.Layers {
+		if opOrderPinned(l.W) {
+			ys := make([]tensor.Vector, len(xs))
+			for i, x := range xs {
+				ys[i] = m.Forward(x)
+			}
+			return ys
+		}
+	}
+	for _, l := range m.Layers {
+		xs = l.ForwardBatch(xs)
+	}
+	return xs
+}
+
 // Predict returns the argmax class for x.
 func (m *MLP) Predict(x tensor.Vector) int { return m.Forward(x).ArgMax() }
 
-// Accuracy evaluates classification accuracy over a set of examples.
+// Accuracy evaluates classification accuracy over a set of examples,
+// batching the forward passes through the weight storage.
 func (m *MLP) Accuracy(xs []tensor.Vector, labels []int) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	correct := 0
-	for i, x := range xs {
-		if m.Predict(x) == labels[i] {
+	for i, y := range m.ForwardBatch(xs) {
+		if y.ArgMax() == labels[i] {
 			correct++
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
 )
@@ -35,6 +36,47 @@ type Mat interface {
 	Update(scale float64, u, v tensor.Vector)
 }
 
+// BatchMat is an optional Mat extension: weight storage that can execute a
+// batch of forward MVMs as one parallel grid (crossbar arrays do this under
+// a single periphery acquisition). Implementations must be bit-identical to
+// calling Forward on each input in order.
+type BatchMat interface {
+	Mat
+	ForwardBatch(xs []tensor.Vector) []tensor.Vector
+}
+
+// OrderPinned is an optional Mat extension: storage whose observable state
+// depends on the exact sample-by-sample op order of the sequential path.
+// Crossbar arrays report this while a fault-injection hook is attached —
+// campaign hooks keep op-order-sensitive state shared across a network's
+// arrays, so reordering ops across layers would change which op a fault
+// lands on. Batched network evaluation degrades to the sequential per-sample
+// stream when any layer reports a pinned order.
+type OrderPinned interface {
+	// OpOrderPinned reports whether ops must retain per-sample order.
+	OpOrderPinned() bool
+}
+
+func opOrderPinned(m Mat) bool {
+	p, ok := m.(OrderPinned)
+	return ok && p.OpOrderPinned()
+}
+
+// ForwardBatch computes one forward MVM per input, through the Mat's
+// batched path when it has one and falling back to sequential Forward calls
+// otherwise. Either way the results are bit-identical to the sequential
+// loop.
+func ForwardBatch(m Mat, xs []tensor.Vector) []tensor.Vector {
+	if b, ok := m.(BatchMat); ok {
+		return b.ForwardBatch(xs)
+	}
+	ys := make([]tensor.Vector, len(xs))
+	for i, x := range xs {
+		ys[i] = m.Forward(x)
+	}
+	return ys
+}
+
 // DenseMat is the ideal digital Mat: an exact float64 matrix.
 type DenseMat struct {
 	M *tensor.Matrix
@@ -51,14 +93,36 @@ func (d *DenseMat) Rows() int { return d.M.Rows }
 // Cols implements Mat.
 func (d *DenseMat) Cols() int { return d.M.Cols }
 
-// Forward implements Mat.
-func (d *DenseMat) Forward(x tensor.Vector) tensor.Vector { return d.M.MatVec(x) }
+// Forward implements Mat via the tiled kernel (bit-identical to the scalar
+// reference m.MatVec at every worker count).
+func (d *DenseMat) Forward(x tensor.Vector) tensor.Vector { return par.MatVec(d.M, x) }
 
-// Backward implements Mat.
-func (d *DenseMat) Backward(dd tensor.Vector) tensor.Vector { return d.M.MatVecT(dd) }
+// Backward implements Mat via the tiled transposed kernel.
+func (d *DenseMat) Backward(dd tensor.Vector) tensor.Vector { return par.MatVecT(d.M, dd) }
 
 // Update implements Mat.
 func (d *DenseMat) Update(scale float64, u, v tensor.Vector) { d.M.AddOuter(scale, u, v) }
+
+// ForwardBatch implements BatchMat: the batch runs as one (sample ×
+// row-tile) grid on the par worker pool. The tiled kernel preserves the
+// scalar reference summation order, so results are bit-identical to
+// sequential Forward calls at every worker count.
+func (d *DenseMat) ForwardBatch(xs []tensor.Vector) []tensor.Vector {
+	ys := make([]tensor.Vector, len(xs))
+	for s, x := range xs {
+		if len(x) != d.M.Cols {
+			panic(fmt.Sprintf("nn: ForwardBatch expects %d inputs, got %d (sample %d)", d.M.Cols, len(x), s))
+		}
+		ys[s] = make(tensor.Vector, d.M.Rows)
+	}
+	rowTiles := par.Tiles(d.M.Rows)
+	par.Run(len(xs)*rowTiles, func(g int) {
+		s, t := g/rowTiles, g%rowTiles
+		lo, hi := par.Bounds(t, d.M.Rows)
+		par.ForwardTile(d.M, xs[s], ys[s], lo, hi)
+	})
+	return ys
+}
 
 // InitXavier fills m with Xavier/Glorot-uniform weights using rng.
 func InitXavier(m *tensor.Matrix, rng *rngutil.Source) {

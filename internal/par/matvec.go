@@ -1,0 +1,151 @@
+package par
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// The MVM kernels below are the tile engine's compute core. Each output
+// element is accumulated in strictly ascending index order with a single
+// accumulator, exactly like the scalar reference loops in package tensor —
+// so the tiled kernels are bit-identical to tensor.Matrix.MatVec/MatVecT
+// at every worker count. The speed comes from processing four rows per
+// pass (one load of x feeds four dot products, quartering the traffic on
+// the input vector and giving the CPU four independent dependency chains),
+// and from tiles executing in parallel across workers.
+
+// forwardTile computes y[i] = Σ_j w[i,j]·x[j] for rows lo ≤ i < hi.
+func forwardTile(w []float64, cols int, x, y tensor.Vector, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		r0 := w[i*cols : (i+1)*cols : (i+1)*cols]
+		r1 := w[(i+1)*cols : (i+2)*cols : (i+2)*cols]
+		r2 := w[(i+2)*cols : (i+3)*cols : (i+3)*cols]
+		r3 := w[(i+3)*cols : (i+4)*cols : (i+4)*cols]
+		var s0, s1, s2, s3 float64
+		for j, xj := range x {
+			s0 += r0[j] * xj
+			s1 += r1[j] * xj
+			s2 += r2[j] * xj
+			s3 += r3[j] * xj
+		}
+		y[i], y[i+1], y[i+2], y[i+3] = s0, s1, s2, s3
+	}
+	for ; i < hi; i++ {
+		row := w[i*cols : (i+1)*cols : (i+1)*cols]
+		var s float64
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		y[i] = s
+	}
+}
+
+// backwardTile accumulates y[j] += Σ_i w[i,j]·x[i] for columns lo ≤ j < hi,
+// visiting i in ascending order per output element and skipping x[i] == 0
+// exactly like the scalar reference (the skip is observable: 0·w can raise
+// -0.0 or NaN artifacts the reference never produces).
+func backwardTile(w []float64, rows, cols int, x, y tensor.Vector, lo, hi int) {
+	i := 0
+	for ; i+4 <= rows; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		if x0 != 0 && x1 != 0 && x2 != 0 && x3 != 0 {
+			// Branch-free block: one load of y[j] covers four rows. The
+			// adds stay sequential per output (t += r0·x0, then r1·x1, …),
+			// the exact i-ascending order of the scalar reference.
+			r0 := w[i*cols : (i+1)*cols : (i+1)*cols]
+			r1 := w[(i+1)*cols : (i+2)*cols : (i+2)*cols]
+			r2 := w[(i+2)*cols : (i+3)*cols : (i+3)*cols]
+			r3 := w[(i+3)*cols : (i+4)*cols : (i+4)*cols]
+			for j := lo; j < hi; j++ {
+				t := y[j]
+				t += r0[j] * x0
+				t += r1[j] * x1
+				t += r2[j] * x2
+				t += r3[j] * x3
+				y[j] = t
+			}
+			continue
+		}
+		// A lane is zero: stream the four rows one at a time with the
+		// reference's per-row skip.
+		for k := i; k < i+4; k++ {
+			xk := x[k]
+			if xk == 0 {
+				continue
+			}
+			row := w[k*cols : (k+1)*cols : (k+1)*cols]
+			for j := lo; j < hi; j++ {
+				y[j] += row[j] * xk
+			}
+		}
+	}
+	for ; i < rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := w[i*cols : (i+1)*cols : (i+1)*cols]
+		for j := lo; j < hi; j++ {
+			y[j] += row[j] * xi
+		}
+	}
+}
+
+// ForwardTile computes y[i] = Σ_j m[i,j]·x[j] for rows lo ≤ i < hi — the
+// tile-level kernel entry for callers scheduling their own tile grids
+// (e.g. a batched forward running a sample × row-tile grid).
+func ForwardTile(m *tensor.Matrix, x, y tensor.Vector, lo, hi int) {
+	forwardTile(m.Data, m.Cols, x, y, lo, hi)
+}
+
+// MatVecInto computes y = m·x into y, sharded into TileSpan-row tiles
+// across the worker pool. It is bit-identical to tensor.Matrix.MatVec at
+// every worker count.
+func MatVecInto(m *tensor.Matrix, x, y tensor.Vector) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("par: MatVec length mismatch: %d cols vs %d", m.Cols, len(x)))
+	}
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("par: MatVec output length %d, want %d", len(y), m.Rows))
+	}
+	Run(Tiles(m.Rows), func(t int) {
+		lo, hi := Bounds(t, m.Rows)
+		forwardTile(m.Data, m.Cols, x, y, lo, hi)
+	})
+}
+
+// MatVec computes y = m·x, tile-parallel. See MatVecInto.
+func MatVec(m *tensor.Matrix, x tensor.Vector) tensor.Vector {
+	y := make(tensor.Vector, m.Rows)
+	MatVecInto(m, x, y)
+	return y
+}
+
+// MatVecTInto computes y = mᵀ·x into y (which must be zeroed by the
+// caller), sharded into one contiguous column chunk per worker. Each chunk
+// owns a disjoint range of output columns and walks all rows, so no
+// reduction across workers is needed, and each output element accumulates
+// in the reference's i-ascending order regardless of where the chunk
+// boundaries fall — bit-identical to tensor.Matrix.MatVecT at every worker
+// count. Worker-wide chunks (RunChunks, not the fixed tile grid) keep each
+// worker streaming wide strips of the row-major matrix.
+func MatVecTInto(m *tensor.Matrix, x, y tensor.Vector) {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("par: MatVecT length mismatch: %d rows vs %d", m.Rows, len(x)))
+	}
+	if len(y) != m.Cols {
+		panic(fmt.Sprintf("par: MatVecT output length %d, want %d", len(y), m.Cols))
+	}
+	RunChunks(m.Cols, func(lo, hi int) {
+		backwardTile(m.Data, m.Rows, m.Cols, x, y, lo, hi)
+	})
+}
+
+// MatVecT computes y = mᵀ·x, tile-parallel. See MatVecTInto.
+func MatVecT(m *tensor.Matrix, x tensor.Vector) tensor.Vector {
+	y := make(tensor.Vector, m.Cols)
+	MatVecTInto(m, x, y)
+	return y
+}

@@ -1,0 +1,99 @@
+package par
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// randomMatrix fills a rows×cols matrix with unit normals, zeroing a few
+// entries so the MatVecT skip path is exercised.
+func randomMatrix(rows, cols int, rng *rngutil.Source) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randomVector(n int, rng *rngutil.Source, zeroEvery int) tensor.Vector {
+	v := make(tensor.Vector, n)
+	for i := range v {
+		if zeroEvery > 0 && i%zeroEvery == 0 {
+			continue // leave exact zeros to exercise the skip path
+		}
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestMatVecBitIdentical pins the package's core guarantee: the tiled
+// kernels produce bit-identical results to the scalar reference loops in
+// package tensor, at every worker count, for shapes that are and are not
+// multiples of the 4-row block and the tile span.
+func TestMatVecBitIdentical(t *testing.T) {
+	defer SetWorkers(0)
+	rng := rngutil.New(42)
+	shapes := [][2]int{{1, 1}, {3, 5}, {4, 4}, {7, 129}, {64, 64}, {65, 63}, {128, 200}, {257, 511}}
+	for _, sh := range shapes {
+		rows, cols := sh[0], sh[1]
+		m := randomMatrix(rows, cols, rng)
+		x := randomVector(cols, rng, 7)
+		d := randomVector(rows, rng, 5)
+		wantF := m.MatVec(x)
+		wantB := m.MatVecT(d)
+		for _, w := range []int{1, 2, 8} {
+			SetWorkers(w)
+			gotF := MatVec(m, x)
+			gotB := MatVecT(m, d)
+			for i := range wantF {
+				if math.Float64bits(gotF[i]) != math.Float64bits(wantF[i]) {
+					t.Fatalf("%dx%d workers=%d: forward[%d] = %x, want %x",
+						rows, cols, w, i, math.Float64bits(gotF[i]), math.Float64bits(wantF[i]))
+				}
+			}
+			for j := range wantB {
+				if math.Float64bits(gotB[j]) != math.Float64bits(wantB[j]) {
+					t.Fatalf("%dx%d workers=%d: backward[%d] = %x, want %x",
+						rows, cols, w, j, math.Float64bits(gotB[j]), math.Float64bits(wantB[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestMatVecTAccumulates verifies MatVecTInto adds into a caller-zeroed
+// vector (the documented contract).
+func TestMatVecTAccumulates(t *testing.T) {
+	rng := rngutil.New(7)
+	m := randomMatrix(10, 6, rng)
+	x := randomVector(10, rng, 0)
+	y := make(tensor.Vector, 6)
+	MatVecTInto(m, x, y)
+	want := m.MatVecT(x)
+	for j := range want {
+		if math.Float64bits(y[j]) != math.Float64bits(want[j]) {
+			t.Fatalf("accumulate mismatch at %d", j)
+		}
+	}
+}
+
+func TestMatVecShapePanics(t *testing.T) {
+	m := tensor.NewMatrix(4, 3)
+	for name, fn := range map[string]func(){
+		"forward-short": func() { MatVec(m, make(tensor.Vector, 2)) },
+		"backward-long": func() { MatVecT(m, make(tensor.Vector, 5)) },
+		"into-short":    func() { MatVecInto(m, make(tensor.Vector, 3), make(tensor.Vector, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

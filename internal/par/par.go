@@ -1,0 +1,152 @@
+// Package par is the deterministic parallel tile execution engine.
+//
+// The paper's core performance claim (§II-A) is that crossbar MVMs and
+// rank-1 updates are O(1) in array time because every tile operates in
+// parallel. This package mirrors that decomposition in software: array
+// operations are sharded into fixed row/column tiles that execute across a
+// configurable number of workers.
+//
+// Determinism contract: results are bit-identical at every worker count.
+// Two properties guarantee it:
+//
+//  1. The tile decomposition is fixed — Tiles/Bounds depend only on the
+//     problem size (TileSpan), never on the worker count or on which worker
+//     picks up which tile.
+//  2. Every tile writes only tile-disjoint state, and any randomness a tile
+//     consumes comes from a stream keyed by the tile index (see
+//     rngutil.Source.Sub), never from a stream shared across tiles.
+//
+// Under those two rules the execution schedule cannot be observed, so a
+// campaign table produced at -workers 1 is byte-identical to the same
+// campaign at -workers 8 — the invariant the CI determinism leg enforces.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TileSpan is the fixed tile extent: forward MVMs shard into TileSpan-row
+// tiles, backward MVMs into TileSpan-column tiles, and updates into
+// TileSpan-row tiles. It is a constant, not a tunable, because the tile
+// grid must be identical on every machine for results to be portable.
+const TileSpan = 64
+
+// workers holds the configured worker count; 0 means "use GOMAXPROCS at
+// call time" (the default).
+var workers atomic.Int32
+
+// SetWorkers configures the number of workers used by Run. n <= 0 restores
+// the default (GOMAXPROCS). Changing the worker count never changes
+// results, only how many goroutines compute them.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int32(n))
+}
+
+// Workers reports the effective worker count Run will use.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Tiles reports how many TileSpan-sized tiles cover [0, n).
+func Tiles(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + TileSpan - 1) / TileSpan
+}
+
+// Bounds reports the half-open index range [lo, hi) of tile t over [0, n).
+func Bounds(t, n int) (lo, hi int) {
+	lo = t * TileSpan
+	hi = lo + TileSpan
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Run executes fn(t) once for every tile index t in [0, tiles), across up
+// to Workers() goroutines (the caller participates). Tiles are handed out
+// by an atomic counter, so the assignment of tiles to workers — and the
+// completion order — is unspecified; fn must follow the package
+// determinism contract (tile-disjoint writes, tile-keyed randomness) so
+// that the schedule is unobservable. Run returns when every tile has
+// completed.
+func Run(tiles int, fn func(t int)) {
+	p := Workers()
+	if p > tiles {
+		p = tiles
+	}
+	if p <= 1 {
+		RunSeq(tiles, fn)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p - 1)
+	for w := 0; w < p-1; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tiles {
+					return
+				}
+				fn(t)
+			}
+		}()
+	}
+	for {
+		t := int(next.Add(1)) - 1
+		if t >= tiles {
+			break
+		}
+		fn(t)
+	}
+	wg.Wait()
+}
+
+// RunChunks splits [0, n) into one contiguous chunk per worker (at most
+// Workers() chunks, each at least TileSpan wide when n allows) and executes
+// fn(lo, hi) for each. Unlike Tiles/Bounds, the chunk boundaries DO depend
+// on the worker count — so RunChunks is only for kernels whose per-element
+// results are independent of the split (element-disjoint outputs, each
+// accumulated in a fixed order; no randomness). MVM kernels qualify; pulse
+// updates do not (their per-tile RNG streams need the fixed tile grid).
+// Fewer, wider chunks keep each worker streaming long contiguous runs of
+// the matrix instead of hopping between narrow strips.
+func RunChunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if max := (n + TileSpan - 1) / TileSpan; p > max {
+		p = max
+	}
+	if p <= 1 {
+		fn(0, n)
+		return
+	}
+	Run(p, func(c int) {
+		fn(c*n/p, (c+1)*n/p)
+	})
+}
+
+// RunSeq executes fn(t) for t = 0..tiles-1 in ascending order on the
+// calling goroutine. It is the execution mode for operations whose
+// side-channel ordering must stay fixed (fault-hook callbacks observe the
+// op stream in tile order), and — by the determinism contract — produces
+// exactly the same results Run would.
+func RunSeq(tiles int, fn func(t int)) {
+	for t := 0; t < tiles; t++ {
+		fn(t)
+	}
+}

@@ -1,0 +1,107 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBoundsPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200, 512, 1000} {
+		tiles := Tiles(n)
+		covered := 0
+		prevHi := 0
+		for ti := 0; ti < tiles; ti++ {
+			lo, hi := Bounds(ti, n)
+			if lo != prevHi {
+				t.Fatalf("n=%d tile %d starts at %d, want %d", n, ti, lo, prevHi)
+			}
+			if hi <= lo || hi > n {
+				t.Fatalf("n=%d tile %d has bounds [%d,%d)", n, ti, lo, hi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != n {
+			t.Fatalf("n=%d tiles cover %d elements", n, covered)
+		}
+	}
+}
+
+func TestRunExecutesEveryTileOnce(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 2, 3, 8} {
+		SetWorkers(w)
+		const tiles = 37
+		var hits [tiles]atomic.Int32
+		Run(tiles, func(ti int) { hits[ti].Add(1) })
+		for ti := range hits {
+			if got := hits[ti].Load(); got != 1 {
+				t.Fatalf("workers=%d: tile %d executed %d times", w, ti, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroTiles(t *testing.T) {
+	Run(0, func(int) { t.Fatal("fn called for zero tiles") })
+	RunSeq(0, func(int) { t.Fatal("fn called for zero tiles") })
+}
+
+func TestSetWorkersResolution(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(5)
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", Workers())
+	}
+	SetWorkers(-3)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(-3), want default", Workers())
+	}
+}
+
+// TestRunChunksCoversEveryElementOnce pins the chunked sharding: disjoint
+// contiguous chunks, full coverage, at most Workers() chunks, and nothing
+// executed for empty input.
+func TestRunChunksCoversEveryElementOnce(t *testing.T) {
+	defer SetWorkers(0)
+	for _, w := range []int{1, 2, 3, 8} {
+		SetWorkers(w)
+		for _, n := range []int{1, 5, 63, 64, 65, 257, 1000} {
+			var hits [1000]atomic.Int32
+			var chunks atomic.Int32
+			RunChunks(n, func(lo, hi int) {
+				chunks.Add(1)
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", w, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: element %d covered %d times", w, n, i, got)
+				}
+			}
+			if int(chunks.Load()) > w {
+				t.Fatalf("workers=%d n=%d: %d chunks, want <= workers", w, n, chunks.Load())
+			}
+		}
+		RunChunks(0, func(int, int) { t.Fatal("fn called for empty range") })
+	}
+}
+
+func TestRunSeqOrdered(t *testing.T) {
+	var order []int
+	RunSeq(9, func(ti int) { order = append(order, ti) })
+	for i, ti := range order {
+		if i != ti {
+			t.Fatalf("RunSeq order %v", order)
+		}
+	}
+}

@@ -89,6 +89,32 @@ func (s *Source) Child(label string) *Source {
 	return New(h.Sum64())
 }
 
+// Sub derives an independent stream keyed by integers instead of a string
+// label — the allocation-free variant of Child used on hot paths. The
+// derived stream depends only on (seed, keys), never on how many values the
+// parent has drawn, so tile-parallel code can derive per-(op, tile) streams
+// that are identical at any worker count and across checkpoint resume.
+// Sub and Child occupy disjoint key spaces: a Sub stream never collides
+// with a Child stream of the same parent.
+func (s *Source) Sub(keys ...uint64) *Source {
+	// FNV-1a over the parent seed and the keys, with a domain-separation
+	// tag so Sub(k...) cannot collide with Child(label).
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= 1099511628211
+		}
+	}
+	mix(s.seed)
+	h ^= uint64('#') // domain tag: integer-keyed space
+	h *= 1099511628211
+	for _, k := range keys {
+		mix(k)
+	}
+	return New(h)
+}
+
 // Seed reports the seed this source was created with.
 func (s *Source) Seed() uint64 { return s.seed }
 

@@ -48,6 +48,64 @@ func TestChildDoesNotConsumeParent(t *testing.T) {
 	}
 }
 
+// TestSubKeyedStreams pins the properties tile-parallel execution relies
+// on: Sub streams are reproducible from (seed, keys) alone, distinct keys
+// give distinct streams, deriving consumes nothing from the parent, and the
+// parent's draw position is irrelevant to what a Sub stream yields.
+func TestSubKeyedStreams(t *testing.T) {
+	a := New(7).Sub(3, 1)
+	b := New(7).Sub(3, 1)
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed,keys) must reproduce")
+		}
+	}
+	c1 := New(7).Sub(3, 1)
+	c2 := New(7).Sub(3, 2)
+	c3 := New(7).Sub(4, 1)
+	same12, same13 := 0, 0
+	for i := 0; i < 50; i++ {
+		v1 := c1.Float64()
+		if v1 == c2.Float64() {
+			same12++
+		}
+		if v1 == c3.Float64() {
+			same13++
+		}
+	}
+	if same12 > 5 || same13 > 5 {
+		t.Fatalf("Sub streams with distinct keys look identical (%d,%d /50)", same12, same13)
+	}
+
+	p := New(9)
+	q := New(9)
+	_ = p.Sub(1, 2) // deriving must not advance the parent
+	if p.Float64() != q.Float64() {
+		t.Fatal("Sub must not consume parent stream state")
+	}
+	// Parent position must not influence the derived stream (resume safety).
+	drained := New(11)
+	for i := 0; i < 123; i++ {
+		drained.Float64()
+	}
+	if drained.Sub(5).Float64() != New(11).Sub(5).Float64() {
+		t.Fatal("Sub stream must depend only on (seed, keys), not parent position")
+	}
+}
+
+// TestSubChildDisjoint guards the domain separation between the string- and
+// integer-keyed derivation spaces.
+func TestSubChildDisjoint(t *testing.T) {
+	root := New(21)
+	sub := root.Sub(0)
+	for _, label := range []string{"", "0", "array", "tile0"} {
+		child := New(21).Child(label)
+		if child.Seed() == sub.Seed() {
+			t.Fatalf("Sub(0) collides with Child(%q)", label)
+		}
+	}
+}
+
 func TestSeed(t *testing.T) {
 	if New(123).Seed() != 123 {
 		t.Fatal("Seed() should report construction seed")

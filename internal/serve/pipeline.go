@@ -206,14 +206,15 @@ func (p *MLPPipeline) Infer(x tensor.Vector, verify bool) (tensor.Vector, bool) 
 	return y2, relL2(y, y2) <= p.cfg.VerifyTol
 }
 
-// CanaryDivergence implements Pipeline.
+// CanaryDivergence implements Pipeline. The canary replay runs through the
+// batched MVM path — all canaries execute as one tile grid per layer —
+// which is bit-identical to replaying them one at a time.
 func (p *MLPPipeline) CanaryDivergence() float64 {
 	if len(p.canaryX) == 0 {
 		return 0
 	}
 	diverged := 0
-	for i, x := range p.canaryX {
-		y := p.net.Forward(x)
+	for i, y := range p.net.ForwardBatch(p.canaryX) {
 		if y.ArgMax() != p.canaryY[i].ArgMax() || relL2(y, p.canaryY[i]) > p.cfg.CanaryTol {
 			diverged++
 		}

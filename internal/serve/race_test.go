@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/par"
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
 )
@@ -17,6 +18,21 @@ import (
 // handoff; under -race this proves the arrays underneath never see two
 // operations at once (crossbar.Array additionally panics on overlap).
 func TestReplicaReadsDuringReprogram(t *testing.T) {
+	replicaReprogramHammer(t)
+}
+
+// TestReplicaReadsDuringReprogramParallelTiles re-runs the reprogram hammer
+// with the tile engine forced to 8 workers, so tile goroutines are
+// genuinely in flight inside every array op while ownership bounces between
+// readers and the reprogrammer — the engine's goroutines must stay confined
+// to the op that spawned them.
+func TestReplicaReadsDuringReprogramParallelTiles(t *testing.T) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(8)
+	replicaReprogramHammer(t)
+}
+
+func replicaReprogramHammer(t *testing.T) {
 	golden, train, test := trainTestMLP(41)
 	eng := faults.NewEngine(faults.Plan{DriftBurstEvery: 40, DriftBurstDt: 20},
 		rngutil.New(7))

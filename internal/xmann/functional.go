@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/crossbar"
+	"repro/internal/par"
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
 )
@@ -161,45 +162,77 @@ func NewDistributedMemoryOpts(mem *tensor.Matrix, tileRows int, opts MemoryOptio
 	return d, reports
 }
 
+// runTiles executes fn(ti) once per tile. Without fault hooks the tiles
+// run concurrently on the par worker pool — in hardware every TCPT operates
+// simultaneously (Fig. 4), and in the simulator each tile is an independent
+// array with its own random stream, so cross-tile execution order cannot
+// change any result. With a hook attached to any tile (campaign engines
+// share hook state across tiles) they run sequentially in tile order, which
+// by the same independence argument is bit-identical.
+func (d *DistributedMemory) runTiles(fn func(ti int)) {
+	for _, t := range d.Tiles {
+		if t.arr.FaultHook() != nil {
+			par.RunSeq(len(d.Tiles), fn)
+			return
+		}
+	}
+	par.Run(len(d.Tiles), fn)
+}
+
 // Similarity computes the attention distribution over all memory rows with
 // the X-MANN similarity measure: softmax(β · dot_i / (‖m_i‖₁ + ε)),
-// using two crossbar ops per tile plus the SFU math.
+// using two crossbar ops per tile plus the SFU math. Tiles run in parallel;
+// scores are concatenated in tile order.
 func (d *DistributedMemory) Similarity(key tensor.Vector, beta float64) tensor.Vector {
-	scores := make(tensor.Vector, 0, d.M)
-	for _, t := range d.Tiles {
+	parts := make([]tensor.Vector, len(d.Tiles))
+	d.runTiles(func(ti int) {
+		t := d.Tiles[ti]
 		dots := t.DotProducts(key)
 		norms := t.L1Norms()
+		s := make(tensor.Vector, len(dots))
 		for i := range dots {
-			scores = append(scores, dots[i]/(norms[i]+1e-9))
+			s[i] = dots[i] / (norms[i] + 1e-9)
 		}
+		parts[ti] = s
+	})
+	scores := make(tensor.Vector, 0, d.M)
+	for _, p := range parts {
+		scores = append(scores, p...)
 	}
 	return tensor.SoftmaxT(scores, beta)
 }
 
-// SoftRead computes r = wᵀM: each tile consumes its slice of w; the global
-// reduce unit sums the partial outputs.
+// SoftRead computes r = wᵀM: each tile consumes its slice of w in parallel;
+// the global reduce unit sums the partial outputs in ascending tile order
+// (a fixed reduction order keeps the floating-point sum identical at every
+// worker count).
 func (d *DistributedMemory) SoftRead(w tensor.Vector) tensor.Vector {
 	if len(w) != d.M {
 		panic("xmann: weight length mismatch")
 	}
-	out := tensor.NewVector(d.D)
-	for ti, t := range d.Tiles {
+	parts := make([]tensor.Vector, len(d.Tiles))
+	d.runTiles(func(ti int) {
+		t := d.Tiles[ti]
 		start := ti * d.TileRows
-		part := t.SoftRead(w[start : start+t.arr.Rows()])
-		out.Add(part)
+		parts[ti] = t.SoftRead(w[start : start+t.arr.Rows()])
+	})
+	out := tensor.NewVector(d.D)
+	for _, p := range parts {
+		out.Add(p)
 	}
 	return out
 }
 
-// SoftWrite applies the additive write across tiles.
+// SoftWrite applies the additive write across tiles in parallel.
 func (d *DistributedMemory) SoftWrite(w, add tensor.Vector) {
 	if len(w) != d.M {
 		panic("xmann: weight length mismatch")
 	}
-	for ti, t := range d.Tiles {
+	d.runTiles(func(ti int) {
+		t := d.Tiles[ti]
 		start := ti * d.TileRows
 		t.SoftWrite(w[start:start+t.arr.Rows()], add)
-	}
+	})
 }
 
 // ReferenceSimilarity is the digital reference for Similarity, used in
