@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race check smoke determinism \
+.PHONY: all build fmt vet lint test race check smoke determinism obs-smoke \
 	bench-quick bench-baseline campaign serve-campaign train-campaign
 
 # The full CI gate: every ci.yml job body is a target here, so `make all`
 # locally reproduces exactly what CI enforces.
-all: check smoke determinism bench-quick
+all: check smoke determinism obs-smoke bench-quick
 
 build:
 	$(GO) build ./...
@@ -37,14 +37,41 @@ smoke:
 	$(GO) run ./cmd/train-campaign -smoke
 
 # Campaign outputs must be byte-identical at every tile-engine worker
-# count (the internal/par determinism contract).
+# count (the internal/par determinism contract). The stable metric and
+# trace dumps (-metrics-out/-trace-out) are under the same contract: the
+# simulator feeds the registry from virtual time, never the wall clock.
 determinism:
-	$(GO) run ./cmd/serve-campaign -quick -workers 1 > /tmp/serve.w1.txt
-	$(GO) run ./cmd/serve-campaign -quick -workers 4 > /tmp/serve.w4.txt
+	$(GO) run ./cmd/serve-campaign -quick -workers 1 \
+		-metrics-out /tmp/serve.w1.metrics -trace-out /tmp/serve.w1.traces > /tmp/serve.w1.txt
+	$(GO) run ./cmd/serve-campaign -quick -workers 4 \
+		-metrics-out /tmp/serve.w4.metrics -trace-out /tmp/serve.w4.traces > /tmp/serve.w4.txt
 	cmp /tmp/serve.w1.txt /tmp/serve.w4.txt
-	$(GO) run ./cmd/train-campaign -smoke -workers 1 > /tmp/train.w1.txt
-	$(GO) run ./cmd/train-campaign -smoke -workers 4 > /tmp/train.w4.txt
+	cmp /tmp/serve.w1.metrics /tmp/serve.w4.metrics
+	cmp /tmp/serve.w1.traces /tmp/serve.w4.traces
+	$(GO) run ./cmd/train-campaign -smoke -workers 1 \
+		-metrics-out /tmp/train.w1.metrics > /tmp/train.w1.txt
+	$(GO) run ./cmd/train-campaign -smoke -workers 4 \
+		-metrics-out /tmp/train.w4.metrics > /tmp/train.w4.txt
 	cmp /tmp/train.w1.txt /tmp/train.w4.txt
+	cmp /tmp/train.w1.metrics /tmp/train.w4.metrics
+
+# Observability smoke: boot the campaign with the HTTP endpoint up and probe
+# /metrics, /traces and /debug/pprof/profile in-process; diff the stable
+# metric dumps across worker counts (fault campaign leg); and bound the
+# instrumented tile engine's overhead at 5%. The overhead check is paired —
+# a fresh uninstrumented report taken on the same machine is the baseline —
+# because cross-machine noise against the committed BENCH_PR4.json dwarfs a
+# 5% bound even after calibration normalization.
+obs-smoke:
+	$(GO) run ./cmd/serve-campaign -quick -pipeline mlp \
+		-obs-addr 127.0.0.1:0 -obs-selfcheck > /tmp/obs.selfcheck.txt
+	grep "obs-selfcheck: GET /metrics" /tmp/obs.selfcheck.txt
+	$(GO) run ./cmd/fault-campaign -quick -workers 1 -metrics-out /tmp/faults.w1.metrics > /dev/null
+	$(GO) run ./cmd/fault-campaign -quick -workers 4 -metrics-out /tmp/faults.w4.metrics > /dev/null
+	cmp /tmp/faults.w1.metrics /tmp/faults.w4.metrics
+	$(GO) run ./cmd/bench-report -benchtime 0.3s -workers 4 -out /tmp/bench.noobs.json
+	$(GO) run ./cmd/bench-report -obs -benchtime 0.3s -workers 4 \
+		-out /tmp/bench.obs.json -baseline /tmp/bench.noobs.json -tolerance 0.05
 
 # Quick benchmark pass: writes a fresh BENCH_PR4.json next to the committed
 # baseline (as BENCH_PR4.ci.json), gates normalized regressions at 25%, and

@@ -20,14 +20,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"testing"
 
 	"repro/internal/crossbar"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
@@ -53,6 +56,9 @@ type Report struct {
 	Benchmarks         []Result `json:"benchmarks"`
 	// SpeedupForward512 is serial/parallel ns at 512 — the headline number.
 	SpeedupForward512 float64 `json:"speedup_forward_512"`
+	// ObsEnabled records whether the run measured the instrumented tile
+	// engine (-obs); overhead reports must not be committed as the baseline.
+	ObsEnabled bool `json:"obs_enabled,omitempty"`
 }
 
 func measure(name string, f func(b *testing.B)) Result {
@@ -168,9 +174,27 @@ func benchUpdate(n int) func(b *testing.B) {
 	}
 }
 
+// Gate errors. A malformed report must fail the gate loudly: a zero or
+// missing calibration would otherwise normalize every ratio to NaN/Inf,
+// which compares false against any threshold and silently passes.
+var (
+	ErrBadCalibration  = errors.New("calibration ns/op missing or non-positive")
+	ErrMissingBaseline = errors.New("baseline is missing a tracked benchmark")
+	ErrBadMeasurement  = errors.New("benchmark measurement is non-finite or non-positive")
+)
+
 // gate compares cur against base, normalizing by each report's calibration
 // benchmark, and returns the tracked benchmarks that regressed beyond tol.
-func gate(cur, base Report, tol float64) []string {
+// It errors — rather than skipping the comparison — when either report's
+// calibration is unusable, a current benchmark has no baseline entry, or a
+// normalized ratio comes out non-finite.
+func gate(cur, base Report, tol float64) ([]string, error) {
+	if !(cur.CalibrationNsPerOp > 0) || math.IsInf(cur.CalibrationNsPerOp, 0) {
+		return nil, fmt.Errorf("%w: current report has %v", ErrBadCalibration, cur.CalibrationNsPerOp)
+	}
+	if !(base.CalibrationNsPerOp > 0) || math.IsInf(base.CalibrationNsPerOp, 0) {
+		return nil, fmt.Errorf("%w: baseline has %v", ErrBadCalibration, base.CalibrationNsPerOp)
+	}
 	baseNs := map[string]float64{}
 	for _, r := range base.Benchmarks {
 		baseNs[r.Name] = r.NsPerOp
@@ -178,17 +202,21 @@ func gate(cur, base Report, tol float64) []string {
 	var bad []string
 	for _, r := range cur.Benchmarks {
 		old, ok := baseNs[r.Name]
-		if !ok || old <= 0 || base.CalibrationNsPerOp <= 0 || cur.CalibrationNsPerOp <= 0 {
-			continue
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrMissingBaseline, r.Name)
 		}
 		normNew := r.NsPerOp / cur.CalibrationNsPerOp
 		normOld := old / base.CalibrationNsPerOp
+		if !(normNew > 0) || !(normOld > 0) || math.IsInf(normNew, 0) || math.IsInf(normOld, 0) {
+			return nil, fmt.Errorf("%w: %s (current %v, baseline %v)",
+				ErrBadMeasurement, r.Name, r.NsPerOp, old)
+		}
 		if normNew > normOld*(1+tol) {
 			bad = append(bad, fmt.Sprintf("%s: %.3f vs baseline %.3f (normalized, +%.0f%%)",
 				r.Name, normNew, normOld, 100*(normNew/normOld-1)))
 		}
 	}
-	return bad
+	return bad, nil
 }
 
 func main() {
@@ -201,12 +229,19 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON to gate against (empty = no gate)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed normalized regression before the gate fails")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail unless forward 512 speedup reaches this (0 = no gate)")
+	withObs := flag.Bool("obs", false, "attach the observability registry to the tile engine, measuring instrumented-path overhead")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		log.Fatal(err)
 	}
 
+	if *withObs {
+		// Measure the same kernels with metrics attached; gating this report
+		// against the committed baseline bounds the instrumentation overhead.
+		par.Instrument(obs.NewRegistry())
+	}
 	rep := run(*workers)
+	rep.ObsEnabled = *withObs
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -227,7 +262,11 @@ func main() {
 		if err := json.Unmarshal(raw, &base); err != nil {
 			log.Fatalf("parse %s: %v", *baseline, err)
 		}
-		if bad := gate(rep, base, *tolerance); len(bad) > 0 {
+		bad, err := gate(rep, base, *tolerance)
+		if err != nil {
+			log.Fatalf("gate against %s: %v", *baseline, err)
+		}
+		if len(bad) > 0 {
 			for _, b := range bad {
 				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", b)
 			}

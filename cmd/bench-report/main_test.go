@@ -1,0 +1,52 @@
+package main
+
+import (
+	"errors"
+	"testing"
+)
+
+func report(calib float64, names map[string]float64) Report {
+	r := Report{CalibrationNsPerOp: calib}
+	for n, v := range names {
+		r.Benchmarks = append(r.Benchmarks, Result{Name: n, NsPerOp: v})
+	}
+	return r
+}
+
+func TestGatePassesAndFlagsRegressions(t *testing.T) {
+	base := report(100, map[string]float64{"forward_512": 1000})
+	ok := report(200, map[string]float64{"forward_512": 2100}) // normalized 10.5 vs 10: within 25%
+	bad, err := gate(ok, base, 0.25)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("clean report failed the gate: bad=%v err=%v", bad, err)
+	}
+	slow := report(100, map[string]float64{"forward_512": 1500}) // +50% normalized
+	bad, err = gate(slow, base, 0.25)
+	if err != nil || len(bad) != 1 {
+		t.Fatalf("regression not flagged: bad=%v err=%v", bad, err)
+	}
+}
+
+// TestGateFailsLoudly pins the satellite fix: a zero calibration or a
+// missing baseline entry used to be skipped silently (NaN/Inf normalized
+// ratios compare false against any threshold, so a broken baseline passed
+// the gate). Each case must now surface its named error.
+func TestGateFailsLoudly(t *testing.T) {
+	good := report(100, map[string]float64{"forward_512": 1000})
+
+	if _, err := gate(report(0, map[string]float64{"forward_512": 1000}), good, 0.25); !errors.Is(err, ErrBadCalibration) {
+		t.Fatalf("zero current calibration: err = %v, want ErrBadCalibration", err)
+	}
+	if _, err := gate(good, report(0, map[string]float64{"forward_512": 1000}), 0.25); !errors.Is(err, ErrBadCalibration) {
+		t.Fatalf("zero baseline calibration: err = %v, want ErrBadCalibration", err)
+	}
+	if _, err := gate(good, report(100, map[string]float64{"other": 1}), 0.25); !errors.Is(err, ErrMissingBaseline) {
+		t.Fatalf("missing baseline entry: err = %v, want ErrMissingBaseline", err)
+	}
+	if _, err := gate(report(100, map[string]float64{"forward_512": 0}), good, 0.25); !errors.Is(err, ErrBadMeasurement) {
+		t.Fatalf("zero current measurement: err = %v, want ErrBadMeasurement", err)
+	}
+	if _, err := gate(good, report(100, map[string]float64{"forward_512": -5}), 0.25); !errors.Is(err, ErrBadMeasurement) {
+		t.Fatalf("negative baseline measurement: err = %v, want ErrBadMeasurement", err)
+	}
+}

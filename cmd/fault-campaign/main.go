@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -44,10 +45,17 @@ func main() {
 	placements := flag.Int("placements", 0, "fault placements averaged per point (0 = default)")
 	writefail := flag.Float64("writefail", -1, "pulse-train drop probability during programming (<0 = default)")
 	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
+	var hook obs.Hook
+	hook.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
+	if err := hook.Start(); err != nil {
+		log.Fatal(err)
+	}
+	par.Instrument(hook.Registry)
 
 	cfg := faults.DefaultSweepConfig(*seed, *quick)
+	cfg.Obs = hook.Registry
 	if *rates != "" {
 		parsed, err := parseRates(*rates)
 		if err != nil {
@@ -62,6 +70,7 @@ func main() {
 		cfg.WriteFail = *writefail
 	}
 
+	var err error
 	switch *pipeline {
 	case "all":
 		if *rates != "" || *placements > 0 || *writefail >= 0 {
@@ -69,9 +78,7 @@ func main() {
 		}
 		e, _ := core.Lookup("R1")
 		fmt.Printf("=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
-		if err := e.Run(os.Stdout, *seed, *quick); err != nil {
-			log.Fatal(err)
-		}
+		err = e.Run(os.Stdout, *seed, *quick)
 	case "analog":
 		printTable(faults.AnalogSweep(cfg))
 	case "xmann":
@@ -80,6 +87,12 @@ func main() {
 		printTable(faults.TCAMSweep(cfg))
 	default:
 		log.Fatalf("unknown pipeline %q (want analog, xmann, tcam, or all)", *pipeline)
+	}
+	if ferr := hook.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 }
 

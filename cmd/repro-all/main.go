@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -18,10 +19,20 @@ func main() {
 	seed := flag.Uint64("seed", 1234, "experiment seed")
 	quick := flag.Bool("quick", false, "run reduced-size variants")
 	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
+	var hook obs.Hook
+	hook.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
+	if err := hook.Start(); err != nil {
+		log.Fatal(err)
+	}
+	par.Instrument(hook.Registry)
 
-	if err := core.RunAll(os.Stdout, *seed, *quick); err != nil {
+	err := core.RunAll(os.Stdout, *seed, *quick)
+	if ferr := hook.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

@@ -6,15 +6,25 @@
 // breaker + background recalibration + digital fallback) — reporting
 // goodput, p50/p99 latency, deadline-miss rate, and accuracy under fire.
 // Fixed seeds make every run bit-reproducible.
+//
+// Observability: -obs-addr serves /metrics, /traces and /debug/pprof/ while
+// the campaign runs; -metrics-out and -trace-out write deterministic dumps
+// on exit (byte-identical across -workers values). -obs-selfcheck probes
+// the HTTP endpoint in-process after the campaign — the CI smoke test.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/serve"
 )
@@ -29,10 +39,22 @@ func main() {
 	rate := flag.Float64("rate", 0, "arrival rate in requests/s (0 = default)")
 	duration := flag.Float64("duration", 0, "arrival window in virtual seconds (0 = default)")
 	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
+	selfcheck := flag.Bool("obs-selfcheck", false, "after the campaign, probe /metrics, /traces and /debug/pprof/profile over HTTP (requires -obs-addr)")
+	var hook obs.Hook
+	hook.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
+	if *selfcheck && hook.Addr == "" {
+		log.Fatal("-obs-selfcheck requires -obs-addr")
+	}
+	if err := hook.Start(); err != nil {
+		log.Fatal(err)
+	}
+	par.Instrument(hook.Registry)
 
 	cfg := serve.DefaultCampaignConfig(*seed, *quick)
+	cfg.Obs = hook.Registry
+	cfg.Tracer = hook.Tracer
 	if *replicas > 0 {
 		cfg.Replicas = *replicas
 	}
@@ -43,6 +65,7 @@ func main() {
 		cfg.Duration = *duration
 	}
 
+	var err error
 	switch *pipeline {
 	case "all":
 		if *replicas > 0 || *rate > 0 || *duration > 0 {
@@ -50,9 +73,7 @@ func main() {
 		}
 		e, _ := core.Lookup("R2")
 		fmt.Printf("=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
-		if err := e.Run(os.Stdout, *seed, *quick); err != nil {
-			log.Fatal(err)
-		}
+		err = e.Run(os.Stdout, *seed, *quick)
 	case "mlp":
 		fmt.Print(serve.FormatTable("analog digits MLP (PCM devices)", serve.MLPCampaign(cfg)))
 	case "xmann":
@@ -60,4 +81,55 @@ func main() {
 	default:
 		log.Fatalf("unknown pipeline %q (want mlp, xmann, or all)", *pipeline)
 	}
+	if err == nil && *selfcheck {
+		err = runSelfcheck(hook.Server())
+	}
+	if ferr := hook.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runSelfcheck exercises the live observability endpoint the way the CI
+// smoke test needs: every path must answer 200 with a non-empty body, and
+// /metrics must carry at least one serve_sim series from the campaign that
+// just ran.
+func runSelfcheck(s *obs.Server) error {
+	if s == nil {
+		return fmt.Errorf("obs-selfcheck: HTTP endpoint is not running")
+	}
+	base := "http://" + s.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, path := range []string{"/metrics", "/traces", "/debug/pprof/profile?seconds=1"} {
+		body, err := fetch(client, base+path)
+		if err != nil {
+			return fmt.Errorf("obs-selfcheck: %s: %w", path, err)
+		}
+		if path == "/metrics" && !bytes.Contains(body, []byte("serve_sim_completed_total")) {
+			return fmt.Errorf("obs-selfcheck: /metrics is missing serve_sim_completed_total")
+		}
+		fmt.Printf("obs-selfcheck: GET %-32s %d bytes OK\n", path, len(body))
+	}
+	return nil
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("empty body")
+	}
+	return body, nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -29,29 +30,41 @@ func main() {
 	quick := flag.Bool("quick", false, "run the reduced-size variant")
 	smoke := flag.Bool("smoke", false, "minimal CI run: one killed arm, invariants checked")
 	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
+	var hook obs.Hook
+	hook.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
+	if err := hook.Start(); err != nil {
+		log.Fatal(err)
+	}
+	par.Instrument(hook.Registry)
 
+	var err error
 	if *smoke {
 		cfg := chaos.DefaultConfig(*seed, true)
 		cfg.Exp.Data.PerClass = 40
 		cfg.KillRates = []int{0, 2}
 		cfg.Levels = []float64{1}
-		results, err := chaos.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
+		cfg.Obs = hook.Registry
+		cfg.Tracer = hook.Tracer
+		var results []chaos.ArmResult
+		results, err = chaos.Run(cfg)
+		if err == nil {
+			fmt.Print(chaos.FormatTable(results))
+			err = chaos.CheckInvariants(results)
 		}
-		fmt.Print(chaos.FormatTable(results))
-		if err := chaos.CheckInvariants(results); err != nil {
-			log.Fatal(err)
+		if err == nil {
+			fmt.Println("\nsmoke OK: bit-identical recovery, wasted-pulse dominance holds")
 		}
-		fmt.Println("\nsmoke OK: bit-identical recovery, wasted-pulse dominance holds")
-		return
+	} else {
+		e, _ := core.Lookup("R3")
+		fmt.Printf("=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
+		err = e.Run(os.Stdout, *seed, *quick)
 	}
-
-	e, _ := core.Lookup("R3")
-	fmt.Printf("=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)
-	if err := e.Run(os.Stdout, *seed, *quick); err != nil {
+	if ferr := hook.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

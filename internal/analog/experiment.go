@@ -2,6 +2,7 @@ package analog
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
@@ -93,8 +94,12 @@ func RunDigitsResumable(factory nn.MatFactory, sess *Session, cfg ExperimentConf
 		}
 		start = ck.Resume.Epoch
 		res.EpochLoss = cloneF(ck.Resume.EpochLoss)
+		ck.Obs.Counter("analog_resumes_total", "training runs resumed from a checkpoint").Inc()
 	}
+	runStart := time.Now()
 	for epoch := start; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
+		span := ck.Tracer.Start("train-epoch", epochStart.Sub(runStart).Seconds())
 		order := epochOrder(rng, epoch, train.Len())
 		half := len(order) / 2
 		var loss float64
@@ -117,6 +122,7 @@ func RunDigitsResumable(factory nn.MatFactory, sess *Session, cfg ExperimentConf
 				return res, err
 			}
 			if ck.Every > 0 && (epoch+1)%ck.Every == 0 && epoch+1 < cfg.Epochs {
+				span.Stage("checkpoint", time.Since(runStart).Seconds())
 				st, err := CaptureTraining(m, sess, epoch+1, res.EpochLoss, ck.Providers)
 				if err != nil {
 					return res, err
@@ -125,6 +131,20 @@ func RunDigitsResumable(factory nn.MatFactory, sess *Session, cfg ExperimentConf
 					return res, err
 				}
 			}
+		}
+		span.End(time.Since(runStart).Seconds())
+		if ck.Obs != nil {
+			// Epoch counts, losses, and pulse totals track the deterministic
+			// training schedule (stable); epoch wall-time is volatile.
+			ck.Obs.Counter("analog_epochs_total", "completed training epochs").Inc()
+			ck.Obs.Gauge("analog_epoch_loss", "mean training loss of the last completed epoch").
+				Set(res.EpochLoss[epoch])
+			if sess != nil {
+				ck.Obs.Gauge("analog_total_pulses", "cumulative device pulses across session arrays").
+					Set(float64(sess.TotalPulses()))
+			}
+			ck.Obs.Histogram("analog_epoch_seconds", "wall-clock duration of one epoch (windowed)", 256).
+				Volatile().Observe(time.Since(epochStart).Seconds())
 		}
 	}
 	res.TrainAccuracy = m.Accuracy(train.X, train.Y)

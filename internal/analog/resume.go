@@ -6,6 +6,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/crossbar"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Checkpointing configures crash-safety for a resumable training run. The
@@ -31,6 +32,12 @@ type Checkpointing struct {
 	// Crash is the chaos kill-point hook; also fired from inside Store.Save
 	// when the caller arms Store.Crash. Nil in production.
 	Crash ckpt.CrashFn
+	// Obs receives per-epoch training metrics (epoch counts and losses are
+	// deterministic and stable; epoch wall-times are volatile). Tracer gets
+	// one span per epoch with a checkpoint stage when one is saved; its
+	// timestamps are wall-clock seconds since the run started.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // TotalPulses reports the cumulative device pulse count across all session

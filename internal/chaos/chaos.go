@@ -26,6 +26,7 @@ import (
 	"repro/internal/crossbar"
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/rngutil"
 )
 
@@ -49,6 +50,11 @@ type Config struct {
 	// time-based state a checkpoint must capture to resume bit-identically.
 	DriftPerEpoch     float64
 	MaintainThreshold float64
+	// Obs and Tracer are threaded into every attempt's Checkpointing and the
+	// checkpoint store; crash/recovery counters are deterministic (stable),
+	// save and fsync latencies volatile.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the R3 campaign configuration: a mixed-precision
@@ -256,6 +262,7 @@ func (c Config) RunArm(kills, every int, level float64, ref analog.TrainResult) 
 	}
 	k := &killer{pending: schedule(kills, c.Exp.Epochs)}
 	store.Crash = k.fn
+	store.Obs = c.Obs
 
 	var crashPulses int64 = -1 // pulses at the previous attempt's crash
 	var res analog.TrainResult
@@ -275,6 +282,7 @@ func (c Config) RunArm(kills, every int, level float64, ref analog.TrainResult) 
 		}
 		out := c.attempt(level, analog.Checkpointing{
 			Store: store, Every: every, Resume: st, Crash: k.fn,
+			Obs: c.Obs, Tracer: c.Tracer,
 		}, k)
 		if out.err != nil {
 			return arm, out.err
@@ -293,7 +301,21 @@ func (c Config) RunArm(kills, every int, level float64, ref analog.TrainResult) 
 	}
 	arm.Accuracy = res.TestAccuracy
 	arm.BitIdentical = reflect.DeepEqual(res, ref)
+	arm.exportObs(c.Obs)
 	return arm, nil
+}
+
+// exportObs folds one arm's crash/recovery accounting into reg. Arms run
+// sequentially and their schedules are deterministic, so these counters are
+// stable.
+func (arm ArmResult) exportObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("chaos_arms_total", "chaos campaign arms completed").Inc()
+	reg.Counter("chaos_crashes_total", "scheduled kills that fired").Add(int64(arm.Crashes))
+	reg.Counter("chaos_rejected_total", "corrupt checkpoints detected and refused").Add(int64(arm.Rejected))
+	reg.Counter("chaos_replayed_epochs_total", "completed epochs redone across recoveries").Add(int64(arm.Replayed))
 }
 
 // Run executes the full campaign grid. Reference (never-killed) runs are
@@ -301,7 +323,7 @@ func (c Config) RunArm(kills, every int, level float64, ref analog.TrainResult) 
 func Run(c Config) ([]ArmResult, error) {
 	refs := map[float64]analog.TrainResult{}
 	for _, level := range c.Levels {
-		res, _, err := c.train(level, analog.Checkpointing{})
+		res, _, err := c.train(level, analog.Checkpointing{Obs: c.Obs, Tracer: c.Tracer})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,44 @@
+package ckpt
+
+import "time"
+
+// logWAL appends one record through the store's WAL, timing the append
+// (dominated by its fsync) when a registry is attached. The record count is
+// deterministic — it tracks the training schedule — so it is stable; the
+// fsync latency is wall-clock and therefore volatile.
+func (s *Store) logWAL(rec WalRecord) error {
+	if s.Obs == nil {
+		return appendWAL(s.walPath(), rec)
+	}
+	t0 := time.Now()
+	err := appendWAL(s.walPath(), rec)
+	s.Obs.Histogram("ckpt_wal_fsync_seconds",
+		"wall-clock latency of one WAL append+fsync (windowed)", 1024).Volatile().
+		Observe(time.Since(t0).Seconds())
+	s.Obs.Counter("ckpt_wal_records_total", "WAL records appended").Inc()
+	return err
+}
+
+// noteSave records one completed checkpoint save.
+func (s *Store) noteSave(t0 time.Time) {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Counter("ckpt_saves_total", "checkpoints saved through the durability protocol").Inc()
+	s.Obs.Histogram("ckpt_save_seconds",
+		"wall-clock latency of one full checkpoint save (windowed)", 256).Volatile().
+		Observe(time.Since(t0).Seconds())
+}
+
+// noteRecovery records what LoadLatest found.
+func (s *Store) noteRecovery(rec Recovery) {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Counter("ckpt_recoveries_total", "recovery scans performed").Inc()
+	s.Obs.Counter("ckpt_rejected_total", "corrupt checkpoint candidates refused during recovery").
+		Add(int64(len(rec.Rejected)))
+	if rec.TornWAL {
+		s.Obs.Counter("ckpt_torn_wal_total", "recoveries that discarded a torn WAL tail").Inc()
+	}
+}

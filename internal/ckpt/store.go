@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Store manages a checkpoint directory: durable saves, WAL step records,
@@ -22,6 +25,10 @@ type Store struct {
 	// Crash is the chaos hook threaded into the durability protocol; nil in
 	// production.
 	Crash CrashFn
+	// Obs, when non-nil, receives save/WAL/recovery instrumentation: record
+	// and save counts are deterministic (stable); fsync and save latencies
+	// are wall-clock (volatile).
+	Obs *obs.Registry
 }
 
 // Open creates (if needed) and wraps a checkpoint directory.
@@ -45,7 +52,7 @@ func (s *Store) fileFor(epoch int) string { return fmt.Sprintf("ckpt-%06d.ckpt",
 // these records to pinpoint the last epoch the crashed run had reached, so
 // the campaign can report replayed work precisely.
 func (s *Store) AppendStep(epoch int, loss float64, pulses int64) error {
-	return appendWAL(s.walPath(), WalRecord{Type: RecEpoch, Epoch: epoch, Loss: loss, Pulses: pulses})
+	return s.logWAL(WalRecord{Type: RecEpoch, Epoch: epoch, Loss: loss, Pulses: pulses})
 }
 
 // WAL returns the log's intact records and whether a torn tail was
@@ -56,6 +63,7 @@ func (s *Store) WAL() ([]WalRecord, bool, error) { return readWAL(s.walPath()) }
 // documented on the package: temp write + fsync, WAL intent, rename +
 // directory fsync, WAL commit, prune. It returns the final file path.
 func (s *Store) Save(st *TrainingState) (string, error) {
+	t0 := time.Now()
 	name := s.fileFor(st.Epoch)
 	final := filepath.Join(s.dir, name)
 	tmp := final + ".tmp"
@@ -80,7 +88,7 @@ func (s *Store) Save(st *TrainingState) (string, error) {
 		return "", err
 	}
 
-	if err := appendWAL(s.walPath(), WalRecord{Type: RecIntent, Epoch: st.Epoch, File: name}); err != nil {
+	if err := s.logWAL(WalRecord{Type: RecIntent, Epoch: st.Epoch, File: name}); err != nil {
 		return "", err
 	}
 	if s.Crash != nil {
@@ -92,13 +100,14 @@ func (s *Store) Save(st *TrainingState) (string, error) {
 	if err := syncDir(s.dir); err != nil {
 		return "", err
 	}
-	if err := appendWAL(s.walPath(), WalRecord{Type: RecCommit, Epoch: st.Epoch, File: name}); err != nil {
+	if err := s.logWAL(WalRecord{Type: RecCommit, Epoch: st.Epoch, File: name}); err != nil {
 		return "", err
 	}
 	if s.Crash != nil {
 		s.Crash("ckpt-committed", st.Epoch)
 	}
 	s.prune()
+	s.noteSave(t0)
 	return final, nil
 }
 
@@ -198,8 +207,10 @@ func (s *Store) LoadLatest() (*TrainingState, Recovery, error) {
 		}
 		rec.Path = path
 		rec.Epoch = st.Epoch
+		s.noteRecovery(rec)
 		return st, rec, nil
 	}
+	s.noteRecovery(rec)
 	return nil, rec, nil
 }
 

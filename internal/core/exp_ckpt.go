@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 func init() {
@@ -21,6 +22,8 @@ func init() {
 
 func runR3(w io.Writer, seed uint64, quick bool) error {
 	cfg := chaos.DefaultConfig(seed, quick)
+	cfg.Obs = obs.Default()
+	cfg.Tracer = obs.DefaultTracer()
 	fmt.Fprintf(w, "workload: %s on %s, %d epochs; kills spread evenly, flavors rotate\n",
 		cfg.Opts.Mode, cfg.Opts.Model.Name(), cfg.Exp.Epochs)
 	fmt.Fprintf(w, "kill flavors: mid-epoch, corrupt-after-commit, wal-appended (pre-rename), ckpt-mid-write\n")

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 func init() {
@@ -27,6 +28,7 @@ func printPoints(w io.Writer, points []faults.Point, costHeader string) {
 
 func runR1(w io.Writer, seed uint64, quick bool) error {
 	cfg := faults.DefaultSweepConfig(seed, quick)
+	cfg.Obs = obs.Default()
 
 	fmt.Fprintf(w, "analog digits MLP: stuck fraction x remediation (writefail %.2f, %d placements)\n",
 		cfg.WriteFail, cfg.Placements)

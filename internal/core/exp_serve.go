@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -20,11 +20,7 @@ func init() {
 
 func runR2(w io.Writer, seed uint64, quick bool) error {
 	cfg := serve.DefaultCampaignConfig(seed, quick)
-	fmt.Fprintf(w, "open-loop Poisson load: %.0f req/s for %.1fs virtual, %d replicas, deadline %.1fms\n",
-		cfg.Rate, cfg.Duration, cfg.Replicas, cfg.Policies[0].Deadline*1e3)
-	fmt.Fprintf(w, "policies: none (no remediation), retry (verify reads + backoff), self-heal (full stack)\n\n")
-	fmt.Fprint(w, serve.FormatTable("analog digits MLP (PCM devices)", serve.MLPCampaign(cfg)))
-	fmt.Fprintln(w)
-	fmt.Fprint(w, serve.FormatTable("X-MANN distributed memory", serve.XMannCampaign(cfg)))
-	return nil
+	cfg.Obs = obs.Default()
+	cfg.Tracer = obs.DefaultTracer()
+	return serve.RunR2(w, cfg)
 }

@@ -1,0 +1,40 @@
+package faults
+
+import "repro/internal/obs"
+
+// ExportObs folds the engine's injected-fault counters into reg. Fault
+// histories are deterministic in (Plan, seed, call order), and sweep arms
+// run sequentially, so these counters are stable: they appear in the
+// deterministic dump and must be byte-identical at any worker count.
+func (e *Engine) ExportObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	st := e.Stats()
+	add := func(name, help string, v int64) {
+		reg.Counter(name, help).Add(v)
+	}
+	add("faults_ops_total", "array operations observed by fault engines", st.Ops)
+	add("faults_stuck_injected_total", "progressive stuck-at device failures injected", st.StuckInjected)
+	add("faults_line_opens_total", "row/column line opens injected", st.LineOpens)
+	add("faults_upsets_total", "transient read upsets injected", st.Upsets)
+	add("faults_dropped_writes_total", "pulse trains lost to write failures", st.DroppedWrites)
+	add("faults_drift_bursts_total", "drift bursts applied", st.DriftBursts)
+	add("faults_masked_reads_total", "output elements zeroed by open lines", st.MaskedReads)
+	add("faults_blocked_updates_total", "pulse trains blocked by open lines", st.BlockedUpdates)
+}
+
+// exportSweepCell folds one sweep cell's remediation-cost accounting
+// (accumulated across placements, pre-averaging) into reg.
+func exportSweepCell(reg *obs.Registry, pt Point) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("faults_sweep_cells_total", "sweep (rate, strategy) cells measured").Inc()
+	reg.Counter("faults_program_pulses_total", "write pulses spent programming across sweep cells").
+		Add(int64(pt.AvgPulses + 0.5))
+	reg.Counter("faults_detect_reads_total", "detection reads consumed across sweep cells").
+		Add(int64(pt.AvgReads + 0.5))
+	reg.Counter("faults_remapped_columns_total", "logical columns relocated by remapping across sweep cells").
+		Add(int64(pt.AvgRemapped + 0.5))
+}

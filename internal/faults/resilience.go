@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mann"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
 	"repro/internal/xmann"
@@ -61,6 +62,10 @@ type SweepConfig struct {
 	Strategies []Strategy
 	// Redundancies compared by the TCAM sweep (copies per stored word).
 	Redundancies []int
+	// Obs, when non-nil, accumulates injection and remediation counters from
+	// every sweep cell. Fed from deterministic fault histories only, so the
+	// resulting dump is stable across worker counts.
+	Obs *obs.Registry
 }
 
 // DefaultSweepConfig returns the campaign configuration of experiment R1.
@@ -195,7 +200,9 @@ func AnalogSweep(cfg SweepConfig) []Point {
 					}
 					pt.Accuracy += net.Accuracy(test.X, test.Y)
 				}
+				engine.ExportObs(cfg.Obs)
 			}
+			exportSweepCell(cfg.Obs, pt)
 			n := float64(cfg.Placements)
 			pt.Accuracy /= n
 			pt.Residual /= n
@@ -270,7 +277,9 @@ func XMannSweep(cfg SweepConfig) []Point {
 					}
 					pt.Residual += relL2(d.SoftRead(ref), want)
 				}
+				engine.ExportObs(cfg.Obs)
 			}
+			exportSweepCell(cfg.Obs, pt)
 			n := float64(cfg.Placements)
 			pt.Accuracy /= n * float64(keys)
 			pt.Residual /= n * float64(keys)
@@ -304,6 +313,10 @@ func TCAMSweep(cfg SweepConfig) []Point {
 			capacity := eval.MemoryEntries * red
 			r := NewFaultyLSHRetriever(u.Cfg.Dim, planes, capacity, rate, red, rngutil.New(cfg.Seed+7))
 			acc := mann.EvaluateFewShot(u, r, eval)
+			if cfg.Obs != nil {
+				cfg.Obs.Counter("faults_tcam_searches_total",
+					"TCAM searches issued across sweep cells").Add(int64(r.Searches()))
+			}
 			points = append(points, Point{
 				Rate:     rate,
 				Strategy: fmt.Sprintf("redundancy-x%d", red),

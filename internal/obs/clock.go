@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time.Now so the real serving runtime reads every
+// deadline-relevant timestamp from one injectable source: production uses
+// System, tests use a Manual clock for flake-free deadline semantics, and
+// the two paths share the simulator's "one clock per run" discipline.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// System is the wall clock.
+var System Clock = systemClock{}
+
+// Manual is a hand-advanced clock for tests: time moves only when the test
+// says so, making deadline checks exact instead of racy.
+type Manual struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManual builds a manual clock starting at start.
+func NewManual(start time.Time) *Manual { return &Manual{t: start} }
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Advance moves the clock forward by d.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.t = m.t.Add(d)
+	m.mu.Unlock()
+}
+
+// Set jumps the clock to t.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	m.t = t
+	m.mu.Unlock()
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Hook is the shared observability wiring for the campaign binaries: three
+// flags (-obs-addr, -metrics-out, -trace-out), a Start that builds the
+// registry/tracer and boots the optional HTTP endpoint, and a Finish that
+// writes the requested dump files. When none of the flags are set, Start
+// leaves everything nil and the whole layer stays disabled (free).
+type Hook struct {
+	Addr       string // -obs-addr: listen address for /metrics, /traces, /debug/pprof/
+	MetricsOut string // -metrics-out: write the deterministic (stable) metric dump here on exit
+	TraceOut   string // -trace-out: write the trace ring as JSON here on exit
+
+	Registry *Registry
+	Tracer   *Tracer
+	server   *Server
+}
+
+// BindFlags registers the observability flags on fs (the process FlagSet).
+func (h *Hook) BindFlags(fs *flag.FlagSet) {
+	fs.StringVar(&h.Addr, "obs-addr", "", "serve /metrics, /traces and /debug/pprof/ on this address (empty = off)")
+	fs.StringVar(&h.MetricsOut, "metrics-out", "", "write deterministic metric dump to this file on exit (empty = off)")
+	fs.StringVar(&h.TraceOut, "trace-out", "", "write trace span dump (JSON) to this file on exit (empty = off)")
+}
+
+// Server returns the live HTTP endpoint, or nil when -obs-addr was not set
+// (or Start has not run).
+func (h *Hook) Server() *Server { return h.server }
+
+// Enabled reports whether any observability flag was set.
+func (h *Hook) Enabled() bool {
+	return h.Addr != "" || h.MetricsOut != "" || h.TraceOut != ""
+}
+
+// Start builds the registry and tracer (when any flag asks for them),
+// installs them as the process defaults, and boots the HTTP endpoint if
+// -obs-addr was given. Returns an error only for a failed listen.
+func (h *Hook) Start() error {
+	if !h.Enabled() {
+		return nil
+	}
+	h.Registry = NewRegistry()
+	h.Tracer = NewTracer(0)
+	SetDefault(h.Registry, h.Tracer)
+	if h.Addr != "" {
+		s, err := Serve(h.Addr, h.Registry, h.Tracer)
+		if err != nil {
+			return err
+		}
+		h.server = s
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics /traces /debug/pprof/ on http://%s\n", s.Addr())
+	}
+	return nil
+}
+
+// Finish writes the -metrics-out and -trace-out dumps and shuts the HTTP
+// endpoint down. Safe to call when Start never ran.
+func (h *Hook) Finish() error {
+	var firstErr error
+	if h.MetricsOut != "" && h.Registry != nil {
+		if err := writeFileWith(h.MetricsOut, func(w *os.File) { h.Registry.WriteStable(w) }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if h.TraceOut != "" && h.Tracer != nil {
+		if err := writeFileWith(h.TraceOut, func(w *os.File) { h.Tracer.WriteJSON(w) }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if h.server != nil {
+		if err := h.server.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		h.server = nil
+	}
+	return firstErr
+}
+
+func writeFileWith(path string, fill func(*os.File)) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fill(f)
+	return f.Close()
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler builds the observability mux: /metrics (Prometheus text
+// format, volatile metrics included), /traces (ring-buffer JSON dump),
+// and the full /debug/pprof/* suite on a private mux (nothing touches
+// http.DefaultServeMux). Either handle may be nil; the endpoints then
+// serve empty dumps.
+func NewHandler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		tr.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "obs endpoints: /metrics /traces /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is one live observability endpoint.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoints on addr (e.g. "127.0.0.1:9090";
+// ":0" picks a free port — read it back with Addr). The server runs until
+// Close.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{l: l, srv: &http.Server{Handler: NewHandler(reg, tr)}}
+	go s.srv.Serve(l) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// NearestRank returns the q-th quantile of the ascending-sorted sample set
+// by the nearest-rank definition: the smallest element whose cumulative
+// probability is at least q, i.e. sorted[ceil(q·n)-1]. Unlike the
+// floor-truncated index int(q·(n-1)) it never rounds the rank down, so
+// p99 over a small window picks the observed tail sample instead of a
+// cheaper neighbor — the bias this helper exists to remove (it is the
+// single quantile implementation shared by the hedging window, the
+// campaign tables, and histogram summaries).
+//
+// Edge cases: an empty set reports 0; q <= 0 reports the minimum; q >= 1
+// the maximum.
+func NearestRank(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	k := int(math.Ceil(q*float64(n))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	return sorted[k]
+}
+
+// Quantile is NearestRank over an unsorted sample set: it sorts a copy,
+// leaving the input untouched.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return NearestRank(s, q)
+}

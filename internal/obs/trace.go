@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Stage is one named timestamp inside a span: the request lifecycle points
+// (queue → dispatch → hedge → verify-read → complete) the serving layer
+// records.
+type Stage struct {
+	Name string  `json:"name"`
+	At   float64 `json:"at"`
+}
+
+// SpanRecord is one completed span. Times are float64 seconds on whatever
+// clock fed the tracer: virtual time in the simulator (making trace dumps
+// byte-deterministic), seconds-since-service-start in the real runtime.
+type SpanRecord struct {
+	Trace  uint64  `json:"trace"`
+	ID     uint64  `json:"id"`
+	Parent uint64  `json:"parent,omitempty"`
+	Name   string  `json:"name"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Stages []Stage `json:"stages,omitempty"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// Tracer collects completed spans into a fixed-capacity ring buffer. IDs
+// are assigned from a deterministic counter, so a deterministically fed
+// tracer dumps identically run-to-run. A nil *Tracer is the disabled
+// layer: Start returns a nil *Span whose methods are all no-ops.
+type Tracer struct {
+	mu      sync.Mutex
+	nextID  uint64
+	ring    []SpanRecord
+	head    int // next write position
+	n       int // valid entries
+	dropped int64
+}
+
+// DefaultTraceCapacity is the ring size NewTracer(0) uses.
+const DefaultTraceCapacity = 4096
+
+// NewTracer builds a tracer retaining the most recent capacity spans
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+// Start opens a new root span at time at (a fresh trace ID, span ID 1
+// within it would be overkill — trace and span IDs share one counter, so
+// a root span's Trace equals its ID).
+func (t *Tracer) Start(name string, at float64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{t: t, rec: SpanRecord{Trace: id, ID: id, Name: name, Start: at}}
+}
+
+// commit pushes a finished record into the ring.
+func (t *Tracer) commit(rec SpanRecord) {
+	t.mu.Lock()
+	if t.n == len(t.ring) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.ring[t.head] = rec
+	t.head = (t.head + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Dropped reports how many completed spans the ring has evicted.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	start := (t.head - t.n + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// traceDump is the /traces and -trace-out JSON schema.
+type traceDump struct {
+	Dropped int64        `json:"dropped"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// WriteJSON dumps the ring as indented JSON (deterministic given a
+// deterministic feed: Go's float64 JSON rendering is the shortest
+// round-trippable form). A nil tracer writes an empty dump.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	dump := traceDump{Spans: t.Snapshot(), Dropped: t.Dropped()}
+	if dump.Spans == nil {
+		dump.Spans = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}
+
+// Span is one in-progress operation. Methods are safe for use from the
+// goroutine that owns the span; a span is not shared across goroutines
+// (hedged attempts get child spans instead).
+type Span struct {
+	t   *Tracer
+	mu  sync.Mutex
+	rec SpanRecord
+}
+
+// Child opens a sub-span (same trace, fresh span ID, parent set to s).
+func (s *Span) Child(name string, at float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	s.t.nextID++
+	id := s.t.nextID
+	s.t.mu.Unlock()
+	s.mu.Lock()
+	trace, parent := s.rec.Trace, s.rec.ID
+	s.mu.Unlock()
+	return &Span{t: s.t, rec: SpanRecord{Trace: trace, ID: id, Parent: parent, Name: name, Start: at}}
+}
+
+// Stage appends one named timestamp.
+func (s *Span) Stage(name string, at float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Stages = append(s.rec.Stages, Stage{Name: name, At: at})
+	s.mu.Unlock()
+}
+
+// SetErr records the span's failure cause.
+func (s *Span) SetErr(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Err = msg
+	s.mu.Unlock()
+}
+
+// End closes the span at time at and commits it to the tracer's ring.
+// Ending a span twice commits it twice; callers own that discipline.
+func (s *Span) End(at float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.End = at
+	rec := s.rec
+	// Copy the stage slice so the committed record is immutable even if
+	// the caller (incorrectly) keeps staging.
+	rec.Stages = append([]Stage(nil), s.rec.Stages...)
+	s.mu.Unlock()
+	s.t.commit(rec)
+}

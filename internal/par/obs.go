@@ -1,0 +1,66 @@
+package par
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// parObs is the engine's instrument set. Everything here is Volatile: how
+// many Run batches execute, and how wide RunChunks splits are, depend on the
+// worker count and on call-time GOMAXPROCS — exactly the scheduling facts
+// the determinism contract promises are unobservable in results. They belong
+// on the live /metrics endpoint, never in the stable dump.
+type parObs struct {
+	runs    *obs.Counter
+	tiles   *obs.Counter
+	chunks  *obs.Counter
+	seqRuns *obs.Counter
+	workers *obs.Gauge
+	batch   *obs.Histogram
+}
+
+var instruments atomic.Pointer[parObs]
+
+// Instrument attaches the tile engine to a registry (nil detaches). The hot
+// path pays one atomic pointer load when detached; counter updates happen
+// once per Run batch, never per tile.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		instruments.Store(nil)
+		return
+	}
+	instruments.Store(&parObs{
+		runs:    reg.Counter("par_runs_total", "parallel tile batches executed").Volatile(),
+		tiles:   reg.Counter("par_tiles_total", "tiles executed across all batches").Volatile(),
+		chunks:  reg.Counter("par_chunks_total", "contiguous chunks executed by RunChunks").Volatile(),
+		seqRuns: reg.Counter("par_seq_runs_total", "batches executed sequentially (order-sensitive or single-worker)").Volatile(),
+		workers: reg.Gauge("par_workers", "effective worker count at the last batch").Volatile(),
+		batch:   reg.Histogram("par_batch_tiles", "tiles per batch (queue depth handed to the worker pool)", 1024).Volatile(),
+	})
+}
+
+// note records one batch. seq marks batches that ran on the calling
+// goroutine only.
+func note(tiles, workers int, seq bool) {
+	io := instruments.Load()
+	if io == nil {
+		return
+	}
+	io.runs.Inc()
+	io.tiles.Add(int64(tiles))
+	io.workers.Set(float64(workers))
+	io.batch.Observe(float64(tiles))
+	if seq {
+		io.seqRuns.Inc()
+	}
+}
+
+// noteChunks records one RunChunks split.
+func noteChunks(chunks int) {
+	io := instruments.Load()
+	if io == nil {
+		return
+	}
+	io.chunks.Add(int64(chunks))
+}

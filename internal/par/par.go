@@ -89,6 +89,7 @@ func Run(tiles int, fn func(t int)) {
 		RunSeq(tiles, fn)
 		return
 	}
+	note(tiles, p, false)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p - 1)
@@ -132,9 +133,11 @@ func RunChunks(n int, fn func(lo, hi int)) {
 		p = max
 	}
 	if p <= 1 {
+		noteChunks(1)
 		fn(0, n)
 		return
 	}
+	noteChunks(p)
 	Run(p, func(c int) {
 		fn(c*n/p, (c+1)*n/p)
 	})
@@ -146,6 +149,7 @@ func RunChunks(n int, fn func(lo, hi int)) {
 // op stream in tile order), and — by the determinism contract — produces
 // exactly the same results Run would.
 func RunSeq(tiles int, fn func(t int)) {
+	note(tiles, 1, true)
 	for t := 0; t < tiles; t++ {
 		fn(t)
 	}

@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"fmt"
+	"io"
+
 	"repro/internal/crossbar"
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
 	"repro/internal/xmann"
@@ -27,6 +31,10 @@ type CampaignConfig struct {
 	// Policies are the arms; every arm faces a cloned fault schedule and
 	// the same arrival/latency draws (common random numbers).
 	Policies []Policy
+	// Obs and Tracer, when non-nil, are threaded into every arm's SimConfig;
+	// both are fed from virtual time only, keeping dumps deterministic.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // DefaultCampaignConfig returns the R2 configuration.
@@ -172,6 +180,8 @@ func MLPCampaign(cfg CampaignConfig) []ArmResult {
 				Requests: reqs,
 				Fallback: fallback,
 				RNG:      rngutil.New(cfg.Seed + 104729*uint64(li+1)),
+				Obs:      cfg.Obs,
+				Tracer:   cfg.Tracer,
 			}, reps)
 			results = append(results, ArmResult{Policy: pol.Name, Level: level, M: m})
 		}
@@ -237,9 +247,24 @@ func XMannCampaign(cfg CampaignConfig) []ArmResult {
 				Requests: reqs,
 				Fallback: fallback,
 				RNG:      rngutil.New(cfg.Seed + 130363*uint64(li+1)),
+				Obs:      cfg.Obs,
+				Tracer:   cfg.Tracer,
 			}, reps)
 			results = append(results, ArmResult{Policy: pol.Name, Level: level, M: m})
 		}
 	}
 	return results
+}
+
+// RunR2 renders the full R2 experiment — both pipelines' campaign tables —
+// to w. This is the body the repro pipeline and cmd/serve-campaign share, so
+// every caller prints byte-identical tables for one config.
+func RunR2(w io.Writer, cfg CampaignConfig) error {
+	fmt.Fprintf(w, "open-loop Poisson load: %.0f req/s for %.1fs virtual, %d replicas, deadline %.1fms\n",
+		cfg.Rate, cfg.Duration, cfg.Replicas, cfg.Policies[0].Deadline*1e3)
+	fmt.Fprintf(w, "policies: none (no remediation), retry (verify reads + backoff), self-heal (full stack)\n\n")
+	fmt.Fprint(w, FormatTable("analog digits MLP (PCM devices)", MLPCampaign(cfg)))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, FormatTable("X-MANN distributed memory", XMannCampaign(cfg)))
+	return nil
 }

@@ -3,6 +3,8 @@ package serve
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // BreakerState is the three-state circuit breaker of a replica.
@@ -51,8 +53,10 @@ func (w *latWindow) add(v float64) {
 	}
 }
 
-// quantile returns the q-th latency quantile of the window, or 0 when
-// empty.
+// quantile returns the q-th latency quantile of the window by nearest rank,
+// or 0 when empty. The window may have wrapped, in which case buf[:n] is the
+// full ring regardless of cursor position — order doesn't matter since the
+// quantile sorts anyway.
 func (w *latWindow) quantile(q float64) float64 {
 	if w.n == 0 {
 		return 0
@@ -60,13 +64,7 @@ func (w *latWindow) quantile(q float64) float64 {
 	s := make([]float64, w.n)
 	copy(s, w.buf[:w.n])
 	sort.Float64s(s)
-	k := int(q * float64(w.n-1))
-	if k < 0 {
-		k = 0
-	} else if k > w.n-1 {
-		k = w.n - 1
-	}
-	return s[k]
+	return obs.NearestRank(s, q)
 }
 
 // Health is the per-replica accounting driving the circuit breaker:

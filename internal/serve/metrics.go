@@ -2,8 +2,9 @@ package serve
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Metrics is the per-arm accounting of one campaign run. Counters are in
@@ -50,22 +51,10 @@ func (m *Metrics) MissRate() float64 {
 	return float64(m.Shed+m.Expired+m.Late+m.Unavailable) / float64(m.Offered)
 }
 
-// LatencyQuantile reports the q-th completion-latency quantile in seconds
-// (0 when nothing completed).
+// LatencyQuantile reports the q-th completion-latency quantile in seconds by
+// nearest rank (0 when nothing completed).
 func (m *Metrics) LatencyQuantile(q float64) float64 {
-	if len(m.latencies) == 0 {
-		return 0
-	}
-	s := make([]float64, len(m.latencies))
-	copy(s, m.latencies)
-	sort.Float64s(s)
-	k := int(q * float64(len(s)-1))
-	if k < 0 {
-		k = 0
-	} else if k >= len(s) {
-		k = len(s) - 1
-	}
-	return s[k]
+	return obs.Quantile(m.latencies, q)
 }
 
 // ArmResult is one (policy, fault level) cell of the campaign table.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -33,6 +34,7 @@ type request struct {
 	x        tensor.Vector
 	deadline time.Time
 	done     chan result
+	span     *obs.Span
 }
 
 type result struct {
@@ -63,6 +65,21 @@ type Service struct {
 
 	served, shed, expired, unavailable atomic.Int64
 	retries, hedges, fallbacks, recals atomic.Int64
+
+	// clock is the single source every deadline-relevant timestamp reads
+	// from: the wall clock in production, a Manual clock in deadline tests.
+	// start anchors trace timestamps (seconds since service start).
+	clock obs.Clock
+	start time.Time
+
+	// Live-runtime instruments; all volatile (wall-clock-fed), so they show
+	// on /metrics but never in the deterministic stable dump. Nil when
+	// observability is off — every use is a free nil-receiver no-op.
+	tracer                          *obs.Tracer
+	mServed, mShed, mExpired, mUnav *obs.Counter
+	mRetries, mHedges, mFbacks      *obs.Counter
+	mRecals                         *obs.Counter
+	mLatency                        *obs.Histogram
 }
 
 // NewService starts the runtime with the given worker count. fallback, if
@@ -86,7 +103,9 @@ func NewService(pol Policy, replicas []*Replica, fallback func(tensor.Vector) te
 		queue:    make(chan *request, pol.QueueCap),
 		recalCh:  make(chan *Replica, len(replicas)),
 		stop:     make(chan struct{}),
+		clock:    obs.System,
 	}
+	s.start = s.clock.Now()
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -98,6 +117,38 @@ func NewService(pol Policy, replicas []*Replica, fallback func(tensor.Vector) te
 	}
 	return s
 }
+
+// SetClock injects the service's time source. Call before serving traffic;
+// tests inject an obs.Manual clock for exact deadline semantics.
+func (s *Service) SetClock(c obs.Clock) {
+	if c == nil {
+		c = obs.System
+	}
+	s.clock = c
+	s.start = c.Now()
+}
+
+// SetObservability attaches a registry and tracer to the live runtime. All
+// instruments are registered Volatile: the real service is wall-clock-fed,
+// so its numbers belong on /metrics but not in the deterministic stable
+// dump. Call before serving traffic. Either argument may be nil.
+func (s *Service) SetObservability(reg *obs.Registry, tr *obs.Tracer) {
+	s.tracer = tr
+	s.mServed = reg.Counter("serve_live_served_total", "requests answered by the live runtime").Volatile()
+	s.mShed = reg.Counter("serve_live_shed_total", "requests load-shed at a full queue").Volatile()
+	s.mExpired = reg.Counter("serve_live_expired_total", "requests that missed their deadline").Volatile()
+	s.mUnav = reg.Counter("serve_live_unavailable_total", "requests with no replica and no fallback").Volatile()
+	s.mRetries = reg.Counter("serve_live_retries_total", "retry attempts").Volatile()
+	s.mHedges = reg.Counter("serve_live_hedges_total", "hedged attempts dispatched").Volatile()
+	s.mFbacks = reg.Counter("serve_live_fallbacks_total", "requests served by the digital fallback").Volatile()
+	s.mRecals = reg.Counter("serve_live_recals_total", "recalibration passes").Volatile()
+	s.mLatency = reg.Histogram("serve_live_latency_seconds",
+		"wall-clock service latency of live requests (windowed)", 1024).Volatile()
+}
+
+// sinceStart maps a clock reading onto the trace timebase (seconds since
+// service start).
+func (s *Service) sinceStart(t time.Time) float64 { return t.Sub(s.start).Seconds() }
 
 // Counters snapshots the runtime accounting.
 func (s *Service) Counters() ServiceCounters {
@@ -115,18 +166,31 @@ func (s *Service) Do(x tensor.Vector) (tensor.Vector, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	now := s.clock.Now()
 	req := &request{
 		x:        x,
-		deadline: time.Now().Add(time.Duration(s.pol.Deadline * float64(time.Second))),
+		deadline: now.Add(time.Duration(s.pol.Deadline * float64(time.Second))),
 		done:     make(chan result, 1),
+		span:     s.tracer.Start("request", s.sinceStart(now)),
 	}
+	req.span.Stage("queue", s.sinceStart(now))
 	select {
 	case s.queue <- req:
 	default:
 		s.shed.Add(1)
+		s.mShed.Inc()
+		req.span.SetErr(ErrShed.Error())
+		req.span.End(s.sinceStart(s.clock.Now()))
 		return nil, ErrShed
 	}
 	r := <-req.done
+	if r.err != nil {
+		req.span.SetErr(r.err.Error())
+	}
+	done := s.clock.Now()
+	req.span.Stage("complete", s.sinceStart(done))
+	req.span.End(s.sinceStart(done))
+	s.mLatency.Observe(done.Sub(now).Seconds())
 	return r.y, r.err
 }
 
@@ -188,21 +252,26 @@ func (s *Service) pick(avoid *Replica) *Replica {
 func (s *Service) serveOne(req *request) result {
 	backoff := s.pol.RetryBackoff
 	for attempt := 0; attempt < s.pol.MaxAttempts; attempt++ {
-		if time.Now().After(req.deadline) {
+		if s.clock.Now().After(req.deadline) {
 			s.expired.Add(1)
+			s.mExpired.Inc()
 			return result{err: ErrDeadline}
 		}
 		primary := s.pick(nil)
 		if primary == nil {
 			return s.fallbackServe(req)
 		}
+		req.span.Stage("dispatch", s.sinceStart(s.clock.Now()))
 		y, ok := s.attempt(primary, req)
 		if ok {
 			s.served.Add(1)
+			s.mServed.Inc()
 			return result{y: y}
 		}
-		if y == nil && time.Now().After(req.deadline) {
+		req.span.Stage("verify-read", s.sinceStart(s.clock.Now()))
+		if y == nil && s.clock.Now().After(req.deadline) {
 			s.expired.Add(1)
+			s.mExpired.Inc()
 			return result{err: ErrDeadline}
 		}
 		// Suspected transient: back off and retry (doubling), unless this
@@ -210,6 +279,7 @@ func (s *Service) serveOne(req *request) result {
 		// nothing.
 		if attempt+1 < s.pol.MaxAttempts {
 			s.retries.Add(1)
+			s.mRetries.Inc()
 			if backoff > 0 {
 				time.Sleep(time.Duration(backoff * float64(time.Second)))
 				backoff *= 2
@@ -218,10 +288,12 @@ func (s *Service) serveOne(req *request) result {
 		}
 		if y != nil {
 			s.served.Add(1)
+			s.mServed.Inc()
 			return result{y: y}
 		}
 	}
 	s.expired.Add(1)
+	s.mExpired.Inc()
 	return result{err: ErrDeadline}
 }
 
@@ -235,9 +307,9 @@ func (s *Service) attempt(primary *Replica, req *request) (tensor.Vector, bool) 
 		took time.Duration
 	}
 	run := func(r *Replica, ch chan attemptRes) {
-		t0 := time.Now()
+		t0 := s.clock.Now()
 		y, ok := r.Infer(req.x, s.pol.VerifyReads)
-		ch <- attemptRes{r: r, y: y, ok: ok, took: time.Since(t0)}
+		ch <- attemptRes{r: r, y: y, ok: ok, took: s.clock.Now().Sub(t0)}
 	}
 	observe := func(a attemptRes) {
 		a.r.Health.ObserveServe(a.took.Seconds(), !a.ok)
@@ -255,7 +327,7 @@ func (s *Service) attempt(primary *Replica, req *request) (tensor.Vector, bool) 
 		hedgeC = hedgeTimer.C
 		defer hedgeTimer.Stop()
 	}
-	deadlineTimer := time.NewTimer(time.Until(req.deadline))
+	deadlineTimer := time.NewTimer(req.deadline.Sub(s.clock.Now()))
 	defer deadlineTimer.Stop()
 
 	var suspect tensor.Vector
@@ -275,6 +347,8 @@ func (s *Service) attempt(primary *Replica, req *request) (tensor.Vector, bool) 
 			hedgeC = nil
 			if second := s.pick(primary); second != nil {
 				s.hedges.Add(1)
+				s.mHedges.Inc()
+				req.span.Stage("hedge", s.sinceStart(s.clock.Now()))
 				go run(second, ch)
 				inFlight++
 			}
@@ -290,13 +364,17 @@ func (s *Service) attempt(primary *Replica, req *request) (tensor.Vector, bool) 
 func (s *Service) fallbackServe(req *request) result {
 	if !s.pol.Fallback || s.fallback == nil {
 		s.unavailable.Add(1)
+		s.mUnav.Inc()
 		return result{err: ErrUnavailable}
 	}
+	req.span.Stage("fallback", s.sinceStart(s.clock.Now()))
 	s.fbMu.Lock()
 	y := s.fallback(req.x)
 	s.fbMu.Unlock()
 	s.fallbacks.Add(1)
+	s.mFbacks.Inc()
 	s.served.Add(1)
+	s.mServed.Inc()
 	return result{y: y}
 }
 
@@ -344,6 +422,7 @@ func (s *Service) recalLoop() {
 			for try := 0; try <= s.pol.RecalMaxRetries; try++ {
 				_, div := r.Recalibrate()
 				s.recals.Add(1)
+				s.mRecals.Inc()
 				if div <= s.pol.ReadmitThresh {
 					r.Health.Readmit(div)
 					break

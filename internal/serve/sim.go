@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/rngutil"
 	"repro/internal/tensor"
 )
@@ -98,6 +99,14 @@ type SimConfig struct {
 	// arms (common random numbers) so policy differences, not draw
 	// differences, separate them.
 	RNG *rngutil.Source
+	// Obs, when non-nil, accumulates the arm's counters and virtual-time
+	// latency distribution into the shared registry; Tracer, when non-nil,
+	// records one span per request with its lifecycle stages (queue →
+	// dispatch → hedge → verify-read → complete). Both are fed exclusively
+	// from virtual time, so their dumps are byte-identical at any -workers
+	// value.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // event kinds, in tie-break-irrelevant order (seq breaks ties).
@@ -147,6 +156,7 @@ type simReq struct {
 	inFlight int
 	hedged   bool
 	done     bool
+	span     *obs.Span
 }
 
 type simAttempt struct {
@@ -155,6 +165,7 @@ type simAttempt struct {
 	dur     float64
 	correct bool
 	ok      bool
+	span    *obs.Span
 }
 
 type simReplica struct {
@@ -180,6 +191,7 @@ type sim struct {
 	latRN *rngutil.Source
 	next  int // next request-stream index
 	m     Metrics
+	peakQ int // queue-depth high-water mark
 }
 
 // RunSim drives one policy arm over the replica pool and returns its
@@ -231,9 +243,47 @@ func RunSim(cfg SimConfig, replicas []*Replica) Metrics {
 	for _, q := range s.queue {
 		if !q.done {
 			s.m.Expired++
+			q.span.SetErr("expired")
+			q.span.End(q.deadline)
 		}
 	}
+	s.exportObs()
 	return s.m
+}
+
+// exportObs folds the arm's final accounting into the shared registry. Arms
+// run sequentially, so accumulation order — and therefore the stable dump —
+// is deterministic.
+func (s *sim) exportObs() {
+	r := s.cfg.Obs
+	if r == nil {
+		return
+	}
+	add := func(name, help string, v int) {
+		r.Counter(name, help).Add(int64(v))
+	}
+	add("serve_sim_offered_total", "requests offered to the simulated service", s.m.Offered)
+	add("serve_sim_shed_total", "requests load-shed at a full queue", s.m.Shed)
+	add("serve_sim_expired_total", "requests that missed their deadline before completing", s.m.Expired)
+	add("serve_sim_late_total", "requests completed after their deadline", s.m.Late)
+	add("serve_sim_unavailable_total", "requests with no replica in rotation and no fallback", s.m.Unavailable)
+	add("serve_sim_completed_total", "requests that returned a result", s.m.Completed)
+	add("serve_sim_good_total", "requests answered on time and correctly", s.m.Good)
+	add("serve_sim_retries_total", "retry attempts scheduled", s.m.Retries)
+	add("serve_sim_hedges_total", "hedged attempts dispatched", s.m.Hedges)
+	add("serve_sim_recals_total", "recalibration passes started", s.m.Recals)
+	add("serve_sim_fallbacks_total", "requests served by the digital fallback", s.m.Fallbacks)
+	add("serve_sim_quarantines_total", "replica quarantine transitions", s.m.Quarantines)
+	add("serve_sim_readmits_total", "quarantined replicas re-admitted after recalibration", s.m.Readmits)
+	h := r.Histogram("serve_sim_latency_seconds",
+		"completion latency of simulated requests (virtual time, exact quantiles)", 0)
+	for _, l := range s.m.latencies {
+		h.Observe(l)
+	}
+	g := r.Gauge("serve_sim_queue_peak", "high-water mark of the simulated admission queue")
+	if float64(s.peakQ) > g.Value() {
+		g.Set(float64(s.peakQ))
+	}
 }
 
 func (s *sim) push(t float64, kind int, req *simReq, rep *simReplica, att *simAttempt) {
@@ -292,6 +342,7 @@ func (s *sim) onArrival(t float64) {
 		arrive:     t,
 		deadline:   t + s.cfg.Policy.Deadline,
 		backoff:    s.cfg.Policy.RetryBackoff,
+		span:       s.cfg.Tracer.Start("request", t),
 	}
 	s.next++
 	s.admit(t, req)
@@ -311,17 +362,26 @@ func (s *sim) admit(t float64, req *simReq) {
 	}
 	if len(s.queue) >= s.cfg.Policy.QueueCap {
 		s.m.Shed++
+		req.span.SetErr("shed")
+		req.span.End(t)
 		return
 	}
+	req.span.Stage("queue", t)
 	s.queue = append(s.queue, req)
+	if len(s.queue) > s.peakQ {
+		s.peakQ = len(s.queue)
+	}
 }
 
 func (s *sim) serveFallback(t float64, req *simReq) {
 	if !s.cfg.Policy.Fallback || s.cfg.Fallback == nil {
 		s.m.Unavailable++
+		req.span.SetErr("unavailable")
+		req.span.End(t)
 		return
 	}
 	s.m.Fallbacks++
+	req.span.Stage("fallback", t)
 	y := s.cfg.Fallback(req.X)
 	dur := s.cfg.Lat.Base * s.cfg.Lat.DigitalMult * math.Exp(s.latRN.Normal(0, s.cfg.Lat.Jitter))
 	att := &simAttempt{req: req, dur: dur, correct: y.ArgMax() == req.Want, ok: true}
@@ -334,10 +394,17 @@ func (s *sim) serveFallback(t float64, req *simReq) {
 func (s *sim) dispatch(t float64, req *simReq, rep *simReplica, isHedge bool) {
 	req.attempts++
 	req.inFlight++
+	attName := "attempt"
+	if isHedge {
+		attName = "hedge-attempt"
+	} else {
+		req.span.Stage("dispatch", t)
+	}
 	y, ok := rep.Infer(req.X, s.cfg.Policy.VerifyReads)
 	dur := s.cfg.Lat.attempt(s.latRN, s.cfg.Policy.VerifyReads)
 	rep.freeAt = t + dur
-	att := &simAttempt{req: req, rep: rep, dur: dur, correct: y.ArgMax() == req.Want, ok: ok}
+	att := &simAttempt{req: req, rep: rep, dur: dur, correct: y.ArgMax() == req.Want, ok: ok,
+		span: req.span.Child(attName, t)}
 	s.push(t+dur, evDone, req, rep, att)
 	if s.cfg.Policy.Hedge && !isHedge && !req.hedged && len(s.reps) > 1 {
 		d := rep.Health.HedgeDelay(s.cfg.Policy.HedgeQuantile, s.cfg.Policy.HedgeMin, s.cfg.Policy.Deadline)
@@ -357,6 +424,7 @@ func (s *sim) onHedge(t float64, req *simReq, primary *simReplica) {
 	}
 	req.hedged = true
 	s.m.Hedges++
+	req.span.Stage("hedge", t)
 	s.dispatch(t, req, second, true)
 }
 
@@ -366,6 +434,13 @@ func (s *sim) onDone(t float64, att *simAttempt) {
 	if att.rep != nil {
 		att.rep.Health.ObserveServe(att.dur, !att.ok)
 	}
+	if !att.ok {
+		// The verify read disagreed with the forward read: the stage where
+		// temporal redundancy caught (or at least suspected) a transient.
+		req.span.Stage("verify-read", t)
+		att.span.SetErr("verify-mismatch")
+	}
+	att.span.End(t)
 	if !req.done {
 		switch {
 		case att.ok:
@@ -394,8 +469,11 @@ func (s *sim) onRetry(t float64, req *simReq) {
 	if t > req.deadline {
 		s.m.Expired++
 		req.done = true
+		req.span.SetErr("expired")
+		req.span.End(t)
 		return
 	}
+	req.span.Stage("retry", t)
 	s.admit(t, req)
 }
 
@@ -412,7 +490,10 @@ func (s *sim) complete(t float64, req *simReq, correct bool) {
 		}
 	} else {
 		s.m.Late++
+		req.span.SetErr("late")
 	}
+	req.span.Stage("complete", t)
+	req.span.End(t)
 }
 
 // pump hands a freed replica the oldest still-live queued request.
@@ -429,6 +510,8 @@ func (s *sim) pump(t float64, rep *simReplica) {
 		if t > req.deadline {
 			s.m.Expired++
 			req.done = true
+			req.span.SetErr("expired")
+			req.span.End(t)
 			continue
 		}
 		s.dispatch(t, req, rep, false)
