@@ -13,6 +13,24 @@ func report(calib float64, names map[string]float64) Report {
 	return r
 }
 
+// TestResolveBaseline pins the stable-filename contract: the gate reads
+// BENCH.json when present, falls back to the legacy BENCH_PR4.json when
+// not, and never rewrites an explicitly chosen path.
+func TestResolveBaseline(t *testing.T) {
+	only := func(p string) func(string) bool {
+		return func(q string) bool { return q == p }
+	}
+	if got := resolveBaseline(stableBaseline, only(stableBaseline)); got != stableBaseline {
+		t.Fatalf("stable baseline present but resolved to %s", got)
+	}
+	if got := resolveBaseline(stableBaseline, only(legacyBaseline)); got != legacyBaseline {
+		t.Fatalf("stable baseline missing: resolved to %s, want the legacy fallback", got)
+	}
+	if got := resolveBaseline("/tmp/pinned.json", only(stableBaseline)); got != "/tmp/pinned.json" {
+		t.Fatalf("explicit path rewritten to %s", got)
+	}
+}
+
 func TestGatePassesAndFlagsRegressions(t *testing.T) {
 	base := report(100, map[string]float64{"forward_512": 1000})
 	ok := report(200, map[string]float64{"forward_512": 2100}) // normalized 10.5 vs 10: within 25%

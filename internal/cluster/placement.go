@@ -1,0 +1,78 @@
+// Package cluster grows the single-node self-healing service of
+// internal/serve into a simulated multi-node fleet: a front-end router
+// placing model shards by rendezvous hashing, per-tenant token-bucket
+// admission control, cross-node hedging and bounded retry, a heartbeat
+// failure detector with quarantine and re-admission, and a node-level
+// fault scenario engine (crash/restart, slow node, majority/minority
+// partition, message delay and loss) layered on internal/faults — all
+// driven deterministically in the virtual-time simulator, so campaign
+// tables are bit-identical at a fixed seed regardless of -workers.
+package cluster
+
+// rendezvousScore is the highest-random-weight score of (shard, node):
+// a splitmix64-style avalanche over the pair, so every (shard, node)
+// edge gets an independent, stable weight. Placement is the descending
+// sort of these scores — no coordination state, and a node join/leave
+// only remaps the shards whose top-R set that node enters or exits
+// (~K·R/N shards, the minimal-churn property pinned by tests).
+func rendezvousScore(shard, node uint64) uint64 {
+	x := shard*0x9e3779b97f4a7c15 + node + 0xd1b54a32d192ed03
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Placement computes shard→node assignment for a fleet. Pure function of
+// (shard, node IDs): no state, deterministic across runs and processes.
+type Placement struct {
+	// Shards is the number of model shards; ReplicasPer how many nodes
+	// host a copy of each shard.
+	Shards, ReplicasPer int
+}
+
+// NodesFor returns the nodes hosting shard, best rendezvous score first,
+// at most ReplicasPer of them. nodes is the current membership (IDs need
+// not be dense). The leading entry is the shard's primary.
+func (p Placement) NodesFor(shard int, nodes []int) []int {
+	type cand struct {
+		node  int
+		score uint64
+	}
+	cands := make([]cand, 0, len(nodes))
+	for _, n := range nodes {
+		cands = append(cands, cand{n, rendezvousScore(uint64(shard), uint64(n))})
+	}
+	// Insertion sort by descending score (ties broken by node ID for total
+	// order); fleets are small, and avoiding sort.Slice keeps the hot path
+	// allocation-light.
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i - 1
+		for j >= 0 && (cands[j].score < c.score || (cands[j].score == c.score && cands[j].node > c.node)) {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = c
+	}
+	r := p.ReplicasPer
+	if r > len(cands) {
+		r = len(cands)
+	}
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		out[i] = cands[i].node
+	}
+	return out
+}
+
+// Table materializes the full placement: Table(nodes)[s] is NodesFor(s, nodes).
+func (p Placement) Table(nodes []int) [][]int {
+	t := make([][]int, p.Shards)
+	for s := range t {
+		t[s] = p.NodesFor(s, nodes)
+	}
+	return t
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRendezvousDeterministic pins that placement is a pure function:
+// repeated evaluation, any membership-slice order, same assignment.
+func TestRendezvousDeterministic(t *testing.T) {
+	p := Placement{Shards: 64, ReplicasPer: 2}
+	nodes := []int{0, 1, 2, 3, 4, 5}
+	a := p.Table(nodes)
+	b := p.Table(nodes)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two evaluations of the same placement differ")
+	}
+	shuffled := []int{5, 2, 0, 4, 1, 3}
+	for s := 0; s < p.Shards; s++ {
+		if got := p.NodesFor(s, shuffled); !reflect.DeepEqual(got, a[s]) {
+			t.Fatalf("shard %d: membership order changed placement: %v vs %v", s, got, a[s])
+		}
+	}
+}
+
+// TestRendezvousMinimalChurn pins the rendezvous property the router
+// depends on: a node leave only remaps shards that node hosted, a join
+// only remaps shards the new node wins — ~K·R/N shards, not a reshuffle.
+func TestRendezvousMinimalChurn(t *testing.T) {
+	const nNodes = 10
+	p := Placement{Shards: 256, ReplicasPer: 2}
+	nodes := make([]int, nNodes)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	before := p.Table(nodes)
+
+	// Leave: drop node 7.
+	without := make([]int, 0, nNodes-1)
+	for _, n := range nodes {
+		if n != 7 {
+			without = append(without, n)
+		}
+	}
+	moved := 0
+	for s, old := range before {
+		now := p.NodesFor(s, without)
+		hosted := false
+		for _, n := range old {
+			if n == 7 {
+				hosted = true
+			}
+		}
+		if !hosted {
+			if !reflect.DeepEqual(now, old) {
+				t.Fatalf("shard %d did not host the leaving node but was remapped: %v -> %v", s, old, now)
+			}
+			continue
+		}
+		moved++
+	}
+	expect := float64(p.Shards*p.ReplicasPer) / nNodes // ≈ K·R/N
+	if f := float64(moved); f > 2*expect || moved == 0 {
+		t.Fatalf("leave remapped %d shards, want ~%.0f (at most twice that)", moved, expect)
+	}
+
+	// Join: add node 10 to the original fleet.
+	joined := append(append([]int(nil), nodes...), 10)
+	moved = 0
+	for s, old := range before {
+		now := p.NodesFor(s, joined)
+		gained := false
+		for _, n := range now {
+			if n == 10 {
+				gained = true
+			}
+		}
+		if !gained {
+			if !reflect.DeepEqual(now, old) {
+				t.Fatalf("shard %d did not gain the joining node but was remapped: %v -> %v", s, old, now)
+			}
+			continue
+		}
+		moved++
+	}
+	expect = float64(p.Shards*p.ReplicasPer) / float64(nNodes+1)
+	if f := float64(moved); f > 2*expect || moved == 0 {
+		t.Fatalf("join remapped %d shards, want ~%.0f (at most twice that)", moved, expect)
+	}
+}
+
+// TestPlacementBalance sanity-checks the hash spread: no node hosts a
+// grossly outsized share of shard replicas.
+func TestPlacementBalance(t *testing.T) {
+	p := Placement{Shards: 512, ReplicasPer: 2}
+	nodes := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	load := map[int]int{}
+	for _, placed := range p.Table(nodes) {
+		if len(placed) != p.ReplicasPer {
+			t.Fatalf("placement returned %d replicas, want %d", len(placed), p.ReplicasPer)
+		}
+		if placed[0] == placed[1] {
+			t.Fatalf("duplicate node in placement: %v", placed)
+		}
+		for _, n := range placed {
+			load[n]++
+		}
+	}
+	mean := float64(p.Shards*p.ReplicasPer) / float64(len(nodes))
+	for n, l := range load {
+		if f := float64(l); f > 2*mean || f < mean/2 {
+			t.Fatalf("node %d hosts %d replicas, mean is %.0f — hash spread is badly skewed", n, l, mean)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package cluster
+
+// Policy is one remediation arm of the cluster campaign: which layers of
+// the stack are switched on at the front-end router.
+type Policy struct {
+	Name string
+	// Detector enables the heartbeat failure detector: nodes the detector
+	// holds Suspect/Down are skipped at routing time, and re-admitted
+	// nodes get their model version resynced. Off, the router routes
+	// blindly — crashed and partitioned nodes included.
+	Detector bool
+	// Admission enables the per-tenant token buckets.
+	Admission bool
+	// Hedge enables cross-node hedged attempts after an adaptive delay
+	// drawn from the router's observed reply-latency quantile.
+	Hedge bool
+	// VersionCheck makes the router reject replies computed against a
+	// model version older than the one current when the request arrived
+	// (retrying elsewhere, or shedding if out of options) instead of
+	// serving stale shards.
+	VersionCheck bool
+	// MaxAttempts bounds dispatches per request (hedges excluded);
+	// RetryAfter is the per-attempt timeout before the router re-sends
+	// to the next candidate node.
+	MaxAttempts int
+	RetryAfter  float64
+	// HedgeQuantile/HedgeMin shape the adaptive hedge delay.
+	HedgeQuantile float64
+	HedgeMin      float64
+	// Deadline is the end-to-end request budget in seconds.
+	Deadline float64
+}
+
+// PolicyNone is the no-remediation baseline: blind round-robin over the
+// shard's placement (down or partitioned nodes included), one attempt, no
+// admission control, and stale replies served as if fresh.
+func PolicyNone() Policy {
+	return Policy{
+		Name:        "none",
+		MaxAttempts: 1,
+		Deadline:    0.025,
+	}
+}
+
+// PolicyDetect adds the failure detector, bounded retry, and staleness
+// rejection — but no hedging and no admission control.
+func PolicyDetect() Policy {
+	return Policy{
+		Name:         "detect",
+		Detector:     true,
+		VersionCheck: true,
+		MaxAttempts:  2,
+		RetryAfter:   0.008,
+		Deadline:     0.025,
+	}
+}
+
+// PolicyFull is the whole stack: detector, admission, hedging, retry, and
+// staleness rejection.
+func PolicyFull() Policy {
+	return Policy{
+		Name:          "full",
+		Detector:      true,
+		Admission:     true,
+		Hedge:         true,
+		VersionCheck:  true,
+		MaxAttempts:   3,
+		RetryAfter:    0.008,
+		HedgeQuantile: 0.9,
+		HedgeMin:      0.002,
+		Deadline:      0.025,
+	}
+}
+
+// DetectorConfig parameterizes the heartbeat failure detector.
+type DetectorConfig struct {
+	// HeartbeatEvery is the probe period per node (seconds).
+	HeartbeatEvery float64
+	// SuspectMisses consecutive probe failures mark a node Suspect (out of
+	// rotation); DownMisses mark it Down (quarantined).
+	SuspectMisses, DownMisses int
+	// ReadmitStreak consecutive probe successes return a Down node to
+	// rotation (through Probation), with its model version resynced.
+	ReadmitStreak int
+}
+
+// DefaultDetectorConfig suits the campaign timing: ~1 ms services against
+// a 25 ms deadline, probes every 50 ms, so a crashed node leaves rotation
+// within ~100–150 ms and rejoins within ~100 ms of answering again.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		HeartbeatEvery: 0.05,
+		SuspectMisses:  2,
+		DownMisses:     3,
+		ReadmitStreak:  2,
+	}
+}
+
+// Detector states for one node, as seen from the router.
+const (
+	dAlive = iota
+	dSuspect
+	dDown
+	dProbation
+)

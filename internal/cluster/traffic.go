@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/rngutil"
+)
+
+// Tenant is one traffic class at the front door: a share of the open-loop
+// arrival stream plus, optionally, a pool of closed-loop clients that each
+// hold one request in flight and think between requests. The admission
+// layer rate-limits per tenant.
+type Tenant struct {
+	Name string
+	// Share is the tenant's weight in the open-loop mix (normalized over
+	// all tenants).
+	Share float64
+	// Bucket parameterizes the tenant's token bucket at the router:
+	// RatePerSec sustained, Burst capacity. Zero RatePerSec means
+	// unlimited (no bucket).
+	RatePerSec, Burst float64
+	// ClosedClients is the size of this tenant's closed-loop pool;
+	// ThinkTime the mean exponential think time between a terminal
+	// disposition and the client's next request.
+	ClosedClients int
+	ThinkTime     float64
+}
+
+// Burst is one square load spike on top of the diurnal curve.
+type Burst struct {
+	At, For float64
+	// Mult multiplies the base rate for the window (e.g. 3 = 3× load).
+	Mult float64
+}
+
+// TrafficConfig shapes the arrival process: a Poisson base rate modulated
+// by a diurnal sinusoid, with square bursts layered on, split across
+// tenants, plus closed-loop client pools. All draws are seeded; the same
+// (config, rng) yields the identical arrival sequence.
+type TrafficConfig struct {
+	// BaseRate is the mean open-loop arrival rate (req/s) before
+	// modulation.
+	BaseRate float64
+	// DiurnalAmp in [0,1) scales the sinusoid: rate(t) = BaseRate ·
+	// (1 + DiurnalAmp·sin(2πt/DiurnalPeriod)).
+	DiurnalAmp    float64
+	DiurnalPeriod float64
+	Bursts        []Burst
+	Tenants       []Tenant
+}
+
+// Rate evaluates the instantaneous open-loop arrival rate at time t.
+func (c TrafficConfig) Rate(t float64) float64 {
+	r := c.BaseRate
+	if c.DiurnalAmp > 0 && c.DiurnalPeriod > 0 {
+		r *= 1 + c.DiurnalAmp*math.Sin(2*math.Pi*t/c.DiurnalPeriod)
+	}
+	for _, b := range c.Bursts {
+		if t >= b.At && t < b.At+b.For {
+			r *= b.Mult
+		}
+	}
+	return r
+}
+
+// maxRate bounds Rate over any t — the thinning envelope.
+func (c TrafficConfig) maxRate() float64 {
+	r := c.BaseRate * (1 + c.DiurnalAmp)
+	mult := 1.0
+	for _, b := range c.Bursts {
+		if b.Mult > mult {
+			mult = b.Mult
+		}
+	}
+	return r * mult
+}
+
+// trafficGen draws the open-loop arrival sequence by thinning a
+// homogeneous Poisson process at the envelope rate: candidate points
+// arrive at maxRate and are kept with probability Rate(t)/maxRate —
+// the standard exact simulation of a nonhomogeneous Poisson process.
+type trafficGen struct {
+	cfg    TrafficConfig
+	rng    *rngutil.Source
+	tenRN  *rngutil.Source
+	env    float64
+	shares []float64 // cumulative tenant shares, normalized
+}
+
+func newTrafficGen(cfg TrafficConfig, rng *rngutil.Source) *trafficGen {
+	g := &trafficGen{
+		cfg:   cfg,
+		rng:   rng.Child("arrivals"),
+		tenRN: rng.Child("tenants"),
+		env:   cfg.maxRate(),
+	}
+	var total float64
+	for _, t := range cfg.Tenants {
+		total += t.Share
+	}
+	acc := 0.0
+	for _, t := range cfg.Tenants {
+		acc += t.Share / total
+		g.shares = append(g.shares, acc)
+	}
+	return g
+}
+
+// Next returns the first kept arrival strictly after t (math.Inf(1) only
+// if the envelope rate is zero).
+func (g *trafficGen) Next(t float64) float64 {
+	if g.env <= 0 {
+		return math.Inf(1)
+	}
+	for {
+		u := g.rng.Uniform(0, 1)
+		if u <= 0 {
+			u = 1e-12
+		}
+		t -= math.Log(u) / g.env
+		if g.rng.Uniform(0, 1)*g.env <= g.cfg.Rate(t) {
+			return t
+		}
+	}
+}
+
+// Tenant draws the tenant index of one open-loop arrival from the mix.
+func (g *trafficGen) Tenant() int {
+	u := g.tenRN.Uniform(0, 1)
+	for i, acc := range g.shares {
+		if u <= acc {
+			return i
+		}
+	}
+	return len(g.shares) - 1
+}
+
+// tokenBucket is the per-tenant admission limiter: capacity burst, refill
+// rate tokens/s, continuous refill in virtual time.
+type tokenBucket struct {
+	rate, burst float64
+	tokens      float64
+	last        float64
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take attempts to spend one token at time t; false means rate-limited.
+// A zero-rate bucket admits everything (the unlimited tenant).
+func (b *tokenBucket) take(t float64) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	b.tokens += (t - b.last) * b.rate
+	b.last = t
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

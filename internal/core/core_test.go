@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"C0", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "F1", "F2", "F5", "R1", "R2", "R3", "T1", "T2"}
+	want := []string{"C0", "C1", "C2", "C3", "C4", "C5", "C6", "C7", "F1", "F2", "F5", "R1", "R2", "R3", "R6", "T1", "T2"}
 	got := Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

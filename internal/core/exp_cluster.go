@@ -1,0 +1,26 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "R6",
+		Title: "Partition-tolerant sharded serving fleet under node-level failure injection (§IV-B.2, fleet scale)",
+		PaperClaim: "serving workloads only matter at fleet scale, where node loss, stragglers, and " +
+			"partitions — not just device faults — set the reliability floor; a router with failure " +
+			"detection, cross-node hedging, admission control, and staleness rejection sustains goodput " +
+			"and accuracy where blind routing collapses",
+		Run: runR6,
+	})
+}
+
+func runR6(w io.Writer, seed uint64, quick bool) error {
+	cfg := cluster.DefaultCampaignConfig(seed, quick)
+	cfg.Obs = obs.Default()
+	return cluster.RunR6(w, cfg)
+}

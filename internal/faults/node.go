@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/rngutil"
+)
+
+// NodePlan extends the device-level fault vocabulary of this package one
+// level up the stack: whole-node failures in a serving fleet. Where Plan
+// describes what goes wrong inside one crossbar array, NodePlan describes
+// what goes wrong around it — the node crashes and restarts, runs slow,
+// gets cut off by a network partition, or talks over a lossy link. The
+// zero NodePlan injects nothing. Everything is seeded: the same plan,
+// fleet size, and seed reproduce the same node-fault history bit-for-bit.
+type NodePlan struct {
+	// CrashesPerNode is the expected number of crash events per node over
+	// the schedule window; crash times are drawn uniformly over the window.
+	// A crashed node drops all in-flight work and loses any state the
+	// layer above chooses not to persist.
+	CrashesPerNode float64
+	// RestartAfter is how long (seconds) a crashed node stays down before
+	// it restarts. 0 means crashed nodes never come back.
+	RestartAfter float64
+
+	// SlowNodes picks that many distinct nodes (drawn without replacement)
+	// to suffer degraded-service windows: every SlowEvery seconds the node
+	// runs SlowFor seconds at SlowFactor× its normal service time.
+	SlowNodes  int
+	SlowFactor float64
+	SlowEvery  float64
+	SlowFor    float64
+
+	// PartitionFor > 0 opens a network partition at PartitionAt lasting
+	// PartitionFor seconds: MinorityNodes nodes (drawn without
+	// replacement) land in the minority cell, unreachable from the
+	// majority cell (where the router lives) until the partition heals.
+	PartitionAt   float64
+	PartitionFor  float64
+	MinorityNodes int
+
+	// MsgLoss is the per-message loss probability on otherwise healthy
+	// links; MsgDelayMult multiplies the base network delay of every
+	// message (a congested fabric).
+	MsgLoss      float64
+	MsgDelayMult float64
+}
+
+// Kinds of node-level fault events, in schedule vocabulary order.
+const (
+	NodeCrash = iota
+	NodeRestart
+	NodeSlowStart
+	NodeSlowEnd
+	PartitionStart
+	PartitionHeal
+)
+
+// NodeEvent is one entry of a node-fault schedule. Node identifies the
+// affected node for crash/restart/slow events; Nodes lists the minority
+// cell for PartitionStart (empty for PartitionHeal).
+type NodeEvent struct {
+	T     float64
+	Kind  int
+	Node  int
+	Nodes []int
+}
+
+// Schedule expands the plan into a deterministic, time-sorted event list
+// for a fleet of n nodes over a window of duration seconds. The draw order
+// is fixed (crashes, then slow windows, then the partition), so the same
+// (plan, n, duration, rng) always yields the identical schedule.
+func (p NodePlan) Schedule(n int, duration float64, rng *rngutil.Source) []NodeEvent {
+	var evs []NodeEvent
+	r := rng.Child("node-faults")
+
+	if p.CrashesPerNode > 0 {
+		cr := r.Child("crash")
+		for node := 0; node < n; node++ {
+			crashes := int(p.CrashesPerNode)
+			if cr.Bernoulli(p.CrashesPerNode - float64(crashes)) {
+				crashes++
+			}
+			for c := 0; c < crashes; c++ {
+				at := cr.Uniform(0, duration)
+				evs = append(evs, NodeEvent{T: at, Kind: NodeCrash, Node: node})
+				if p.RestartAfter > 0 {
+					evs = append(evs, NodeEvent{T: at + p.RestartAfter, Kind: NodeRestart, Node: node})
+				}
+			}
+		}
+	}
+
+	if p.SlowNodes > 0 && p.SlowFactor > 1 && p.SlowEvery > 0 && p.SlowFor > 0 {
+		sr := r.Child("slow")
+		for _, node := range pickDistinct(sr, n, p.SlowNodes) {
+			// Stagger each victim's first window by a draw so slow spells
+			// don't all align across victims.
+			start := sr.Uniform(0, p.SlowEvery)
+			for t := start; t < duration; t += p.SlowEvery {
+				evs = append(evs, NodeEvent{T: t, Kind: NodeSlowStart, Node: node})
+				evs = append(evs, NodeEvent{T: t + p.SlowFor, Kind: NodeSlowEnd, Node: node})
+			}
+		}
+	}
+
+	if p.PartitionFor > 0 && p.MinorityNodes > 0 {
+		pr := r.Child("partition")
+		minority := pickDistinct(pr, n, p.MinorityNodes)
+		evs = append(evs, NodeEvent{T: p.PartitionAt, Kind: PartitionStart, Nodes: minority})
+		evs = append(evs, NodeEvent{T: p.PartitionAt + p.PartitionFor, Kind: PartitionHeal})
+	}
+
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	return evs
+}
+
+// pickDistinct draws k distinct node IDs from [0, n) in a deterministic
+// order (sorted ascending for schedule stability).
+func pickDistinct(rng *rngutil.Source, n, k int) []int {
+	if k >= n {
+		k = n
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Fisher–Yates prefix shuffle: the first k entries are the sample.
+	for i := 0; i < k; i++ {
+		j := i + int(rng.Uniform(0, float64(n-i)))
+		if j >= n {
+			j = n - 1
+		}
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	out := append([]int(nil), perm[:k]...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/rngutil"
+)
+
+// TestNodeScheduleDeterministic pins that the same (plan, fleet, seed)
+// expands to the identical node-fault schedule.
+func TestNodeScheduleDeterministic(t *testing.T) {
+	plan := NodePlan{
+		CrashesPerNode: 0.8,
+		RestartAfter:   0.5,
+		SlowNodes:      2,
+		SlowFactor:     8,
+		SlowEvery:      1.0,
+		SlowFor:        0.4,
+		PartitionAt:    1.5,
+		PartitionFor:   1.0,
+		MinorityNodes:  2,
+	}
+	a := plan.Schedule(6, 5.0, rngutil.New(7))
+	b := plan.Schedule(6, 5.0, rngutil.New(7))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two schedules from the same seed differ")
+	}
+	if len(a) == 0 {
+		t.Fatal("plan injected nothing")
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].T < a[j].T }) {
+		t.Fatal("schedule is not time-sorted")
+	}
+}
+
+// TestNodeScheduleShape checks the structural invariants: every crash has
+// a matching restart RestartAfter later, the partition opens and heals
+// with a distinct minority of the requested size, and the zero plan is
+// empty.
+func TestNodeScheduleShape(t *testing.T) {
+	if evs := (NodePlan{}).Schedule(4, 3.0, rngutil.New(1)); len(evs) != 0 {
+		t.Fatalf("zero plan produced %d events", len(evs))
+	}
+	plan := NodePlan{
+		CrashesPerNode: 1.0,
+		RestartAfter:   0.25,
+		PartitionAt:    1.0,
+		PartitionFor:   0.5,
+		MinorityNodes:  2,
+	}
+	evs := plan.Schedule(5, 4.0, rngutil.New(3))
+	crashAt := map[int][]float64{}
+	restartAt := map[int][]float64{}
+	var minority []int
+	heals := 0
+	for _, e := range evs {
+		switch e.Kind {
+		case NodeCrash:
+			crashAt[e.Node] = append(crashAt[e.Node], e.T)
+		case NodeRestart:
+			restartAt[e.Node] = append(restartAt[e.Node], e.T)
+		case PartitionStart:
+			minority = e.Nodes
+		case PartitionHeal:
+			heals++
+		}
+	}
+	for node, crashes := range crashAt {
+		restarts := restartAt[node]
+		if len(restarts) != len(crashes) {
+			t.Fatalf("node %d: %d crashes but %d restarts", node, len(crashes), len(restarts))
+		}
+		for i := range crashes {
+			if got := restarts[i] - crashes[i]; got != plan.RestartAfter {
+				t.Fatalf("node %d restart %d came %.3fs after the crash, want %.3f", node, i, got, plan.RestartAfter)
+			}
+		}
+	}
+	if len(minority) != plan.MinorityNodes || heals != 1 {
+		t.Fatalf("partition: minority %v (want %d nodes), %d heals (want 1)", minority, plan.MinorityNodes, heals)
+	}
+	seen := map[int]bool{}
+	for _, n := range minority {
+		if seen[n] || n < 0 || n >= 5 {
+			t.Fatalf("minority cell %v has duplicates or out-of-range nodes", minority)
+		}
+		seen[n] = true
+	}
+}

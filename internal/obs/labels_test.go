@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeriesCanonical pins the canonical form: keys sorted, values quoted,
+// so the same label set always maps to the same registry entry.
+func TestSeriesCanonical(t *testing.T) {
+	if got := Series("m"); got != "m" {
+		t.Fatalf("Series with no labels = %q, want %q", got, "m")
+	}
+	a := Series("cluster_node_served_total", "node", "3", "shard", "1")
+	b := Series("cluster_node_served_total", "shard", "1", "node", "3")
+	if a != b {
+		t.Fatalf("label order changed the series key: %q vs %q", a, b)
+	}
+	want := `cluster_node_served_total{node="3",shard="1"}`
+	if a != want {
+		t.Fatalf("Series = %q, want %q", a, want)
+	}
+	if esc := Series("m", "k", `a"b`); esc != `m{k="a\"b"}` {
+		t.Fatalf("Series did not escape the value: %q", esc)
+	}
+}
+
+// TestSeriesSameInstrument verifies labeled registration is idempotent per
+// label set and distinct across label sets.
+func TestSeriesSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter(Series("f_total", "node", "0"), "h")
+	c2 := r.Counter(Series("f_total", "node", "0"), "h")
+	c3 := r.Counter(Series("f_total", "node", "1"), "h")
+	if c1 != c2 {
+		t.Fatal("same series resolved to two instruments")
+	}
+	if c1 == c3 {
+		t.Fatal("distinct label sets resolved to one instrument")
+	}
+}
+
+// TestDumpFamilyGrouping pins the exposition contract for labeled series:
+// one HELP/TYPE header per family, series contiguous beneath it, histogram
+// quantile labels merged with the series labels.
+func TestDumpFamilyGrouping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Series("f_total", "node", "1"), "per-node count").Add(2)
+	r.Counter(Series("f_total", "node", "0"), "per-node count").Add(1)
+	r.Counter("f_other_total", "plain count").Add(5)
+	r.Histogram(Series("lat_seconds", "node", "0"), "per-node latency", 0).Observe(0.25)
+
+	var sb strings.Builder
+	r.WriteStable(&sb)
+	out := sb.String()
+
+	if n := strings.Count(out, "# TYPE f_total counter"); n != 1 {
+		t.Fatalf("family f_total has %d TYPE headers, want 1:\n%s", n, out)
+	}
+	for _, line := range []string{
+		`f_total{node="0"} 1`,
+		`f_total{node="1"} 2`,
+		"f_other_total 5",
+		`lat_seconds{node="0",quantile="0.5"} 0.25`,
+		`lat_seconds_sum{node="0"} 0.25`,
+		`lat_seconds_count{node="0"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("dump missing line %q:\n%s", line, out)
+		}
+	}
+	if strings.Index(out, `f_total{node="0"}`) > strings.Index(out, `f_total{node="1"}`) {
+		t.Fatalf("series not sorted by labels within the family:\n%s", out)
+	}
+}

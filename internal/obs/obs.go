@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -54,11 +55,64 @@ func (k metricKind) String() string {
 }
 
 // metric is the registry-internal interface of all instrument types.
+// write receives the series' family name and its (possibly empty) label
+// body so multi-line instruments can merge their own labels in.
 type metric interface {
 	kindOf() metricKind
 	helpOf() string
 	isVolatile() bool
-	write(w io.Writer, name string)
+	write(w io.Writer, family, labels string)
+}
+
+// Series builds a labeled metric name — family{k1="v1",k2="v2"} — for use
+// with Counter/Gauge/Histogram. Pairs are canonicalised (sorted by key) so
+// the same label set always yields the same registry key, and values are
+// quoted/escaped. Every series of a family shares one HELP/TYPE header in
+// the dumps; give them all the same help string. Panics on an odd kv count
+// (always a programming error).
+func Series(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: Series(%q): odd label key/value count %d", family, len(kv)))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(p.v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitSeries splits a registry key into its family name and label body.
+func splitSeries(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// seriesRef renders a sample-line name: family or family{labels}.
+func seriesRef(family, labels string) string {
+	if labels == "" {
+		return family
+	}
+	return family + "{" + labels + "}"
 }
 
 // Registry holds named instruments. A nil *Registry is the disabled layer:
@@ -155,23 +209,34 @@ func (r *Registry) dump(w io.Writer, includeVolatile bool) {
 	if r == nil {
 		return
 	}
+	type entry struct {
+		family, labels string
+		m              metric
+	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.metrics))
+	entries := make([]entry, 0, len(r.metrics))
 	for name, m := range r.metrics {
 		if includeVolatile || !m.isVolatile() {
-			names = append(names, name)
+			family, labels := splitSeries(name)
+			entries = append(entries, entry{family, labels, m})
 		}
 	}
-	sort.Strings(names)
-	ms := make([]metric, len(names))
-	for i, name := range names {
-		ms[i] = r.metrics[name]
-	}
 	r.mu.Unlock()
-	for i, name := range names {
-		m := ms[i]
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, m.helpOf(), name, m.kindOf())
-		m.write(w, name)
+	// Sort by (family, labels) so every series of a family is contiguous and
+	// gets exactly one HELP/TYPE header — and the dump stays byte-stable.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].family != entries[j].family {
+			return entries[i].family < entries[j].family
+		}
+		return entries[i].labels < entries[j].labels
+	})
+	prev := ""
+	for _, e := range entries {
+		if e.family != prev {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.family, e.m.helpOf(), e.family, e.m.kindOf())
+			prev = e.family
+		}
+		e.m.write(w, e.family, e.labels)
 	}
 }
 
@@ -218,8 +283,8 @@ func (c *Counter) Value() int64 {
 func (c *Counter) kindOf() metricKind { return kindCounter }
 func (c *Counter) helpOf() string     { return c.help }
 func (c *Counter) isVolatile() bool   { return c.volatile }
-func (c *Counter) write(w io.Writer, name string) {
-	fmt.Fprintf(w, "%s %d\n", name, c.v.Load())
+func (c *Counter) write(w io.Writer, family, labels string) {
+	fmt.Fprintf(w, "%s %d\n", seriesRef(family, labels), c.v.Load())
 }
 
 // Gauge is a settable instantaneous value.
@@ -256,8 +321,8 @@ func (g *Gauge) Value() float64 {
 func (g *Gauge) kindOf() metricKind { return kindGauge }
 func (g *Gauge) helpOf() string     { return g.help }
 func (g *Gauge) isVolatile() bool   { return g.volatile }
-func (g *Gauge) write(w io.Writer, name string) {
-	fmt.Fprintf(w, "%s %s\n", name, ftoa(g.Value()))
+func (g *Gauge) write(w io.Writer, family, labels string) {
+	fmt.Fprintf(w, "%s %s\n", seriesRef(family, labels), ftoa(g.Value()))
 }
 
 // Histogram collects a sample distribution. In exact mode (window 0) it
@@ -343,16 +408,20 @@ func (h *Histogram) isVolatile() bool   { return h.volatile }
 // summaryQuantiles are the quantile lines every histogram exports.
 var summaryQuantiles = []float64{0.5, 0.9, 0.99}
 
-func (h *Histogram) write(w io.Writer, name string) {
+func (h *Histogram) write(w io.Writer, family, labels string) {
 	h.mu.Lock()
 	s := append([]float64(nil), h.samples...)
 	count, sum := h.count, h.sum
 	h.mu.Unlock()
 	sort.Float64s(s)
 	for _, q := range summaryQuantiles {
-		fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, ftoa(q), ftoa(NearestRank(s, q)))
+		qLabels := fmt.Sprintf("quantile=%q", ftoa(q))
+		if labels != "" {
+			qLabels = labels + "," + qLabels
+		}
+		fmt.Fprintf(w, "%s{%s} %s\n", family, qLabels, ftoa(NearestRank(s, q)))
 	}
-	fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, ftoa(sum), name, count)
+	fmt.Fprintf(w, "%s %s\n%s %d\n", seriesRef(family+"_sum", labels), ftoa(sum), seriesRef(family+"_count", labels), count)
 }
 
 // floatBits/floatFromBits adapt float64 gauges to the atomic word.

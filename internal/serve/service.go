@@ -28,6 +28,11 @@ var (
 type ServiceCounters struct {
 	Served, Shed, Expired, Unavailable int64
 	Retries, Hedges, Fallbacks, Recals int64
+	// SuspectServed counts requests answered with a verify-failed (suspect)
+	// vector because retries, hedges, or the deadline ran out — served
+	// rather than failed, but flagged so operators can see how much of the
+	// traffic got an unverified answer.
+	SuspectServed int64
 }
 
 type request struct {
@@ -65,6 +70,7 @@ type Service struct {
 
 	served, shed, expired, unavailable atomic.Int64
 	retries, hedges, fallbacks, recals atomic.Int64
+	suspectServed                      atomic.Int64
 
 	// clock is the single source every deadline-relevant timestamp reads
 	// from: the wall clock in production, a Manual clock in deadline tests.
@@ -78,7 +84,7 @@ type Service struct {
 	tracer                          *obs.Tracer
 	mServed, mShed, mExpired, mUnav *obs.Counter
 	mRetries, mHedges, mFbacks      *obs.Counter
-	mRecals                         *obs.Counter
+	mRecals, mSuspect               *obs.Counter
 	mLatency                        *obs.Histogram
 }
 
@@ -142,6 +148,8 @@ func (s *Service) SetObservability(reg *obs.Registry, tr *obs.Tracer) {
 	s.mHedges = reg.Counter("serve_live_hedges_total", "hedged attempts dispatched").Volatile()
 	s.mFbacks = reg.Counter("serve_live_fallbacks_total", "requests served by the digital fallback").Volatile()
 	s.mRecals = reg.Counter("serve_live_recals_total", "recalibration passes").Volatile()
+	s.mSuspect = reg.Counter("serve_suspect_served_total",
+		"requests answered with a verify-failed suspect vector (out of attempts or time)").Volatile()
 	s.mLatency = reg.Histogram("serve_live_latency_seconds",
 		"wall-clock service latency of live requests (windowed)", 1024).Volatile()
 }
@@ -157,6 +165,7 @@ func (s *Service) Counters() ServiceCounters {
 		Expired: s.expired.Load(), Unavailable: s.unavailable.Load(),
 		Retries: s.retries.Load(), Hedges: s.hedges.Load(),
 		Fallbacks: s.fallbacks.Load(), Recals: s.recals.Load(),
+		SuspectServed: s.suspectServed.Load(),
 	}
 }
 
@@ -281,12 +290,15 @@ func (s *Service) serveOne(req *request) result {
 			s.retries.Add(1)
 			s.mRetries.Inc()
 			if backoff > 0 {
-				time.Sleep(time.Duration(backoff * float64(time.Second)))
+				s.clock.Sleep(time.Duration(backoff * float64(time.Second)))
 				backoff *= 2
 			}
 			continue
 		}
 		if y != nil {
+			// Out of attempts: serve the suspect read rather than nothing,
+			// but account for it — this answer never passed a verify read.
+			s.markSuspectServed(req)
 			s.served.Add(1)
 			s.mServed.Inc()
 			return result{y: y}
@@ -295,6 +307,14 @@ func (s *Service) serveOne(req *request) result {
 	s.expired.Add(1)
 	s.mExpired.Inc()
 	return result{err: ErrDeadline}
+}
+
+// markSuspectServed accounts for a request answered with a verify-failed
+// suspect vector (attempts or deadline exhausted) and tags its trace span.
+func (s *Service) markSuspectServed(req *request) {
+	s.suspectServed.Add(1)
+	s.mSuspect.Inc()
+	req.span.Stage("suspect-served", s.sinceStart(s.clock.Now()))
 }
 
 // attempt runs one (possibly hedged) inference attempt. ok=false with a
@@ -319,16 +339,15 @@ func (s *Service) attempt(primary *Replica, req *request) (tensor.Vector, bool) 
 	go run(primary, ch)
 	inFlight := 1
 
-	var hedgeTimer *time.Timer
+	// Both timers run on the injected clock: with a Manual clock they fire
+	// on virtual advances, so deadline/hedge tests are exact and burn no
+	// wall time. Abandoned After channels simply fire into the void.
 	var hedgeC <-chan time.Time
 	if s.pol.Hedge && len(s.replicas) > 1 {
 		d := primary.Health.HedgeDelay(s.pol.HedgeQuantile, s.pol.HedgeMin, s.pol.Deadline)
-		hedgeTimer = time.NewTimer(time.Duration(d * float64(time.Second)))
-		hedgeC = hedgeTimer.C
-		defer hedgeTimer.Stop()
+		hedgeC = s.clock.After(time.Duration(d * float64(time.Second)))
 	}
-	deadlineTimer := time.NewTimer(req.deadline.Sub(s.clock.Now()))
-	defer deadlineTimer.Stop()
+	deadlineC := s.clock.After(req.deadline.Sub(s.clock.Now()))
 
 	var suspect tensor.Vector
 	for {
@@ -352,10 +371,15 @@ func (s *Service) attempt(primary *Replica, req *request) (tensor.Vector, bool) 
 				go run(second, ch)
 				inFlight++
 			}
-		case <-deadlineTimer.C:
+		case <-deadlineC:
 			// Leave stragglers to finish into the buffered channel; their
 			// health observations are lost, which is acceptable for the
-			// wall-clock runtime.
+			// wall-clock runtime. A suspect read in hand is served rather
+			// than dropped — counted, and tagged on the trace, so the
+			// unverified answer is visible instead of silently passing as ok.
+			if suspect != nil {
+				s.markSuspectServed(req)
+			}
 			return suspect, suspect != nil
 		}
 	}

@@ -55,6 +55,14 @@ func DefaultLatencyModel() LatencyModel {
 	}
 }
 
+// AttemptDuration draws one service-time sample from the model — the
+// shared hot path of this simulator and the fleet simulator in
+// internal/cluster, which prices node-local service time with the same
+// distribution.
+func (m LatencyModel) AttemptDuration(rng *rngutil.Source, verify bool) float64 {
+	return m.attempt(rng, verify)
+}
+
 func (m LatencyModel) attempt(rng *rngutil.Source, verify bool) float64 {
 	d := m.Base * math.Exp(rng.Normal(0, m.Jitter))
 	if m.TailProb > 0 && rng.Bernoulli(m.TailProb) {
