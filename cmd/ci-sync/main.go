@@ -1,0 +1,83 @@
+// Command ci-sync enforces the CI/Makefile contract the ci.yml header
+// comment promises: every workflow job body is exactly one `make <target>`
+// invocation of a target that exists in the Makefile, so `make all`
+// locally reproduces the full CI gate and the two can never drift.
+//
+// It is deliberately a line-level check, not a YAML parser: the contract
+// is about the literal `run:` lines, and a stricter grammar here means a
+// looser workflow file fails the build instead of silently diverging.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strings"
+)
+
+var (
+	// runLine matches any step command in the workflow, whether the run key
+	// opens a list item ("- run: …") or follows a name line ("run: …"). A
+	// block-scalar command ("run: |") is captured as "|" and rejected by the
+	// grammar below, so multi-line step bodies can't slip through either.
+	runLine = regexp.MustCompile(`^\s*(?:-\s+)?run:\s*(.*?)\s*$`)
+	// makeOnly is the full grammar a run line must satisfy.
+	makeOnly = regexp.MustCompile(`^make ([A-Za-z0-9][A-Za-z0-9_-]*)$`)
+	// target matches a Makefile rule header and captures its name.
+	target = regexp.MustCompile(`^([A-Za-z0-9][A-Za-z0-9_-]*):`)
+)
+
+// makeTargets collects the rule names a Makefile defines.
+func makeTargets(makefile string) map[string]bool {
+	ts := map[string]bool{}
+	for _, line := range strings.Split(makefile, "\n") {
+		if m := target.FindStringSubmatch(line); m != nil {
+			ts[m[1]] = true
+		}
+	}
+	return ts
+}
+
+// checkWorkflow returns one message per run line that is not exactly a
+// `make <target>` invocation of a known target.
+func checkWorkflow(workflow string, targets map[string]bool) []string {
+	var bad []string
+	for i, line := range strings.Split(workflow, "\n") {
+		m := runLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		cmd := m[1]
+		tm := makeOnly.FindStringSubmatch(cmd)
+		if tm == nil {
+			bad = append(bad, fmt.Sprintf("line %d: run command %q is not exactly `make <target>`", i+1, cmd))
+			continue
+		}
+		if !targets[tm[1]] {
+			bad = append(bad, fmt.Sprintf("line %d: run command %q names a target missing from the Makefile", i+1, cmd))
+		}
+	}
+	return bad
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ci-sync: ")
+	mk, err := os.ReadFile("Makefile")
+	if err != nil {
+		log.Fatal(err)
+	}
+	wf, err := os.ReadFile(".github/workflows/ci.yml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad := checkWorkflow(string(wf), makeTargets(string(mk)))
+	for _, b := range bad {
+		fmt.Fprintf(os.Stderr, "ci-sync: ci.yml %s\n", b)
+	}
+	if len(bad) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("ci-sync: every ci.yml job body is a Makefile target")
+}

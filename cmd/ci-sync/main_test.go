@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const mk = `
+.PHONY: check smoke
+check: lint build
+	go vet ./...
+smoke:
+	go test ./...
+bench-quick:
+	go run ./cmd/bench-report
+`
+
+func TestMakeTargets(t *testing.T) {
+	ts := makeTargets(mk)
+	for _, want := range []string{"check", "smoke", "bench-quick"} {
+		if !ts[want] {
+			t.Errorf("target %q not found", want)
+		}
+	}
+	if ts["go"] || ts[""] {
+		t.Error("recipe lines misparsed as targets")
+	}
+}
+
+func TestCheckWorkflow(t *testing.T) {
+	ts := makeTargets(mk)
+	ok := `
+jobs:
+  check:
+    steps:
+      - run: make check
+      - name: quick
+        run: make bench-quick
+`
+	if bad := checkWorkflow(ok, ts); len(bad) != 0 {
+		t.Fatalf("clean workflow flagged: %v", bad)
+	}
+	for name, wf := range map[string]string{
+		"raw-command":    "      - run: go test ./...\n",
+		"extra-args":     "      - run: make check VERBOSE=1\n",
+		"unknown-target": "      - run: make deploy\n",
+		"shell-chain":    "      - run: make check && make smoke\n",
+	} {
+		bad := checkWorkflow(wf, ts)
+		if len(bad) != 1 {
+			t.Errorf("%s: got %d findings (%v), want 1", name, len(bad), bad)
+		}
+	}
+	multi := "  - run: make check\n  - run: rm -rf /\n  - run: make nope\n"
+	bad := checkWorkflow(multi, ts)
+	if len(bad) != 2 {
+		t.Fatalf("multi: got %v, want 2 findings", bad)
+	}
+	if !strings.Contains(bad[0], "rm -rf") || !strings.Contains(bad[1], "missing from the Makefile") {
+		t.Fatalf("multi: unexpected messages %v", bad)
+	}
+}

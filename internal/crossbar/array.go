@@ -55,6 +55,13 @@ type Config struct {
 	// are scaled by 1 − IRDrop·cols/256, the voltage-drop penalty that
 	// grows with array width for low-resistance devices (§II-A).
 	IRDrop float64
+	// ReferenceUpdate forces the generic per-crosspoint update path (device
+	// interface dispatch for every coincidence) even when a specialized
+	// kernel exists for the array's device model. The two paths are
+	// bit-identical — the reference exists as the scalar twin the benchmark
+	// gate measures the engine against, exactly as tensor.Matrix.MatVec is
+	// the scalar twin of the tiled forward kernel.
+	ReferenceUpdate bool
 }
 
 // DefaultConfig returns sensible periphery defaults: 31-slot trains,
@@ -90,11 +97,82 @@ type Array struct {
 	model      Model
 	dev        []Device // row-major
 	stuck      []bool
+	stuckCount int            // number of true entries in stuck, maintained on every transition
 	w          *tensor.Matrix // mirror of device weights for fast MVM
 	rng        *rngutil.Source
 	hook       FaultHook // optional run-time fault injector (see hooks.go)
 	busy       atomic.Int32
 	Counts     OpCounts
+
+	// lin aliases dev as concrete noiseless linear-step devices when the
+	// model supports the specialized update kernel (nil otherwise). The
+	// devices themselves are shared — the slice only skips the interface
+	// dispatch on the update hot path.
+	lin []*linearStepDevice
+	// linScale is the flat copy of each linear device's step-size scale and
+	// linP the shared step parameters: the specialized kernel reads these
+	// (and the weight mirror) instead of chasing pointers into 64-byte
+	// device objects, which is where the generic path spends most of its
+	// time on large arrays. When every device carries the same scale
+	// (DeviceVar 0, or a checkpoint that restored uniform scales) linUniform
+	// is set and the kernel drops the per-device scale load entirely,
+	// folding dwMin·scale into the per-column step table.
+	linScale   []float64
+	linP       LinearStepParams
+	linUniform bool
+	// linDirty marks that the specialized kernel has advanced the weight
+	// mirror without writing per-device state back; syncLin settles the
+	// debt before any path reads or pulses devices directly. For non-stuck
+	// linear devices the mirror is exactly the device weight, so the
+	// deferred write-back is lossless.
+	linDirty bool
+	// arena holds the reusable per-update buffers (pulse trains, per-tile
+	// pulse counts, per-tile RNG substreams), sized on first use. It is
+	// scratch state, deliberately outside ArrayState: every update derives
+	// the tile streams fresh from (rng seed, update counter, tile), so a
+	// checkpoint-restored array reproduces them exactly.
+	arena updateArena
+}
+
+// updateArena is the reusable scratch space of the update hot path — the
+// allocations that used to be made per update (13–16 allocs/op in the PR 4
+// baseline) now happen once per array.
+type updateArena struct {
+	rowTrains []uint64
+	colTrains []uint64
+	pulses    []int64
+	tileSrc   []*rngutil.Source
+	// colMulUp/colMulDown are the per-column signed step multipliers of the
+	// specialized linear kernel, indexed by the row's drive direction:
+	// colMulUp[j] applies on rows driving up, colMulDown[j] on rows driving
+	// down. Precomputing them turns the per-hit sign logic into one multiply.
+	colMulUp   []float64
+	colMulDown []float64
+	// colSlots is the slot-major column index: for each train slot s, the
+	// columns whose train has slot s set occupy
+	// colSlotBuf[colSlotOff[s]:colSlotOff[s+1]]. The specialized kernel walks
+	// it so its work is proportional to actual pulse coincidences instead of
+	// rows×cols popcount probes.
+	colSlotOff []int32
+	colSlotBuf []int32
+}
+
+// ensureArena sizes the update scratch buffers on first use.
+func (a *Array) ensureArena() {
+	if a.arena.rowTrains != nil {
+		return
+	}
+	tiles := par.Tiles(a.rows)
+	a.arena.rowTrains = make([]uint64, a.rows)
+	a.arena.colTrains = make([]uint64, a.cols)
+	a.arena.pulses = make([]int64, tiles)
+	a.arena.tileSrc = make([]*rngutil.Source, tiles)
+	if a.lin != nil {
+		a.arena.colMulUp = make([]float64, a.cols)
+		a.arena.colMulDown = make([]float64, a.cols)
+		a.arena.colSlotOff = make([]int32, a.cfg.BL+1)
+		a.arena.colSlotBuf = make([]int32, a.cfg.BL*a.cols)
+	}
 }
 
 // NewArray builds a rows×cols crossbar of fresh devices from model.
@@ -121,6 +199,9 @@ func NewArray(rows, cols int, model Model, cfg Config, rng *rngutil.Source) *Arr
 	for i := range a.dev {
 		a.dev[i] = model.New(devRng)
 		a.stuck[i] = faultRng.Bernoulli(cfg.StuckFraction)
+		if a.stuck[i] {
+			a.stuckCount++
+		}
 		a.w.Data[i] = a.dev[i].Weight()
 		if a.stuck[i] && cfg.StuckValueStd > 0 {
 			v := valueRng.Normal(0, cfg.StuckValueStd)
@@ -132,7 +213,51 @@ func NewArray(rows, cols int, model Model, cfg Config, rng *rngutil.Source) *Arr
 			a.w.Data[i] = v // frozen at the corrupt value
 		}
 	}
+	if lm, ok := model.(*LinearStepModel); ok && lm.P.CycleNoise == 0 {
+		// Noiseless linear-step devices take the specialized update kernel:
+		// their pulse response involves no random draws, so the coincidence
+		// pass can apply it inline without interface dispatch.
+		a.lin = make([]*linearStepDevice, len(a.dev))
+		a.linScale = make([]float64, len(a.dev))
+		a.linP = lm.P
+		for i, d := range a.dev {
+			a.lin[i] = d.(*linearStepDevice)
+			a.linScale[i] = a.lin[i].scale
+		}
+		a.refreshLinUniform()
+	}
 	return a
+}
+
+// refreshLinUniform recomputes whether every linear device shares one step
+// scale (checked by value, so it also holds after checkpoint restore).
+func (a *Array) refreshLinUniform() {
+	a.linUniform = true
+	for _, s := range a.linScale {
+		if s != a.linScale[0] {
+			a.linUniform = false
+			return
+		}
+	}
+}
+
+// syncLin writes the mirror weights of a specialized-kernel array back into
+// the per-device state. The fast update kernel advances only the mirror
+// (a.w.Data is exactly d.w for every non-stuck linear device); every path
+// that reads or pulses devices directly calls syncLin first, so device
+// state is always settled before it is observed. Stuck devices are skipped:
+// their mirror entry may hold a frozen corrupt value that is deliberately
+// distinct from the pristine device state.
+func (a *Array) syncLin() {
+	if !a.linDirty {
+		return
+	}
+	for idx, d := range a.lin {
+		if !a.stuck[idx] {
+			d.w = a.w.Data[idx]
+		}
+	}
+	a.linDirty = false
 }
 
 // acquire claims the array periphery for one externally driven operation,
@@ -236,11 +361,13 @@ func (a *Array) forwardLocked(x tensor.Vector) tensor.Vector {
 // ForwardBatch runs one analog MVM per input under a single periphery
 // acquisition — the batched read used by serving pipelines and evaluation
 // loops. Results are bit-identical to calling Forward on each input in
-// order: the MVMs of the whole batch execute as one (sample × row-tile)
-// parallel grid, then the periphery randomness (read noise) is drawn
-// serially per sample in index order, exactly the sequence the one-by-one
-// path draws. With a fault hook installed the batch degrades to sequential
-// forwards so the hook observes the same well-formed op stream either way.
+// order: the MVMs of the whole batch execute as one sample-blocked
+// (row-tile × sample-block) grid (par.MatVecBatchInto, which amortizes each
+// weight-row load over BatchSpan samples), then the periphery randomness
+// (read noise) is drawn serially per sample in index order, exactly the
+// sequence the one-by-one path draws. With a fault hook installed the batch
+// degrades to sequential forwards so the hook observes the same well-formed
+// op stream either way.
 func (a *Array) ForwardBatch(xs []tensor.Vector) []tensor.Vector {
 	a.acquire()
 	defer a.release()
@@ -268,12 +395,7 @@ func (a *Array) ForwardBatch(xs []tensor.Vector) []tensor.Vector {
 			xin[s] = q
 		}
 	}
-	rowTiles := par.Tiles(a.rows)
-	par.Run(len(xs)*rowTiles, func(g int) {
-		s, t := g/rowTiles, g%rowTiles
-		lo, hi := par.Bounds(t, a.rows)
-		par.ForwardTile(a.w, xin[s], ys[s], lo, hi)
-	})
+	par.MatVecBatchInto(a.w, xin, ys)
 	for _, y := range ys {
 		a.finishRead(y)
 		a.Counts.Forwards++
@@ -352,35 +474,52 @@ func (a *Array) Update(scale float64, u, v tensor.Vector) {
 	}
 }
 
-// tileRNG derives the deterministic pulse-noise stream for one row tile of
-// the current update operation. The stream is keyed by the array's base
+// reseedTileRNGs repositions the arena's per-tile pulse-noise streams for
+// the current update operation. Each stream is keyed by the array's base
 // seed, the update counter, and the tile index — never by execution order —
 // so a tile draws the identical sequence whether tiles run on one worker or
 // eight, and whether the run is fresh or resumed from a checkpoint (the
-// counter is part of ArrayState).
-func (a *Array) tileRNG(t int) *rngutil.Source {
-	return a.rng.Sub(uint64(a.Counts.Updates), uint64(t))
+// counter is part of ArrayState; the streams themselves are re-derived per
+// op, so the arena needs no serialization). The streams live in the arena
+// and are reseeded in place, so no allocation happens after the first
+// update.
+func (a *Array) reseedTileRNGs(tiles int) {
+	for t := 0; t < tiles; t++ {
+		if a.arena.tileSrc[t] == nil {
+			a.arena.tileSrc[t] = a.rng.Sub(uint64(a.Counts.Updates), uint64(t))
+		} else {
+			a.rng.SubInto(a.arena.tileSrc[t], uint64(a.Counts.Updates), uint64(t))
+		}
+	}
 }
 
 // runUpdateTiles executes one tiled update pass over the row tiles of the
 // array. Without a fault hook the tiles run on the par worker pool (each
 // tile touches a disjoint row range of devices and weight mirror, and
-// draws only from its own tileRNG stream). With a hook installed the tiles
-// run sequentially in tile order on the calling goroutine — the hook's
-// per-op ordering guarantee (see FaultHook) must hold, and hooks keep
-// private random streams that are not tile-keyed — which by the
+// draws only from its own per-tile keyed stream). With a hook installed the
+// tiles run sequentially in tile order on the calling goroutine — the
+// hook's per-op ordering guarantee (see FaultHook) must hold, and hooks
+// keep private random streams that are not tile-keyed — which by the
 // determinism contract produces the identical result. Per-tile pulse
-// counts are reduced into Counts.Pulses in fixed tile order.
-func (a *Array) runUpdateTiles(fn func(t, lo, hi int, rng *rngutil.Source) int64) {
+// counts are reduced into Counts.Pulses in fixed tile order. needRNG=false
+// skips the per-tile stream reseed for passes that provably draw nothing
+// (the noiseless specialized kernel); fn then receives nil streams.
+func (a *Array) runUpdateTiles(needRNG bool, fn func(t, lo, hi int, rng *rngutil.Source) int64) {
 	tiles := par.Tiles(a.rows)
-	pulses := make([]int64, tiles)
+	a.ensureArena()
+	if needRNG {
+		a.reseedTileRNGs(tiles)
+	}
+	pulses := a.arena.pulses
+	src := a.arena.tileSrc
+	rows := a.rows
 	run := par.Run
 	if a.hook != nil {
 		run = par.RunSeq
 	}
 	run(tiles, func(t int) {
-		lo, hi := par.Bounds(t, a.rows)
-		pulses[t] = fn(t, lo, hi, a.tileRNG(t))
+		lo, hi := par.Bounds(t, rows)
+		pulses[t] = fn(t, lo, hi, src[t])
 	})
 	for _, n := range pulses {
 		a.Counts.Pulses += n
@@ -393,16 +532,19 @@ func (a *Array) runUpdateTiles(fn func(t, lo, hi int, rng *rngutil.Source) int64
 // factors are chosen so that E[Δw_ij] = scale·u_i·v_j when probabilities do
 // not saturate.
 //
-// The pulse trains draw from the array's serial stream (O(rows+cols) work),
-// then the O(rows·cols) coincidence/pulse pass runs as row tiles on the
-// worker pool, each tile drawing its cycle noise from its own tileRNG
-// stream.
+// The pulse trains draw from the array's serial stream (O(rows+cols) work)
+// into the reusable arena, then the O(rows·cols) coincidence/pulse pass runs
+// as row tiles on the worker pool. Arrays of noiseless linear-step devices
+// take the specialized kernel (updateStochasticLinear) unless a fault hook
+// or Config.ReferenceUpdate forces the generic per-crosspoint path; the two
+// are bit-identical.
 func (a *Array) updateStochastic(scale float64, u, v tensor.Vector) {
 	bl := a.cfg.BL
 	dw := a.model.MeanStep()
 	c := math.Sqrt(math.Abs(scale) / (float64(bl) * dw))
-	rowTrains := make([]uint64, a.rows)
-	colTrains := make([]uint64, a.cols)
+	a.ensureArena()
+	rowTrains := a.arena.rowTrains
+	colTrains := a.arena.colTrains
 	for i, ui := range u {
 		rowTrains[i] = a.train(math.Abs(ui) * c)
 	}
@@ -410,7 +552,13 @@ func (a *Array) updateStochastic(scale float64, u, v tensor.Vector) {
 		colTrains[j] = a.train(math.Abs(vj) * c)
 	}
 	sgnScale := math.Signbit(scale)
-	a.runUpdateTiles(func(_, lo, hi int, rng *rngutil.Source) int64 {
+	if a.lin != nil && a.hook == nil && !a.cfg.ReferenceUpdate {
+		a.updateStochasticLinear(sgnScale, u, v)
+		return
+	}
+	a.syncLin() // the generic path pulses devices directly
+	cols := a.cols
+	a.runUpdateTiles(true, func(_, lo, hi int, rng *rngutil.Source) int64 {
 		var n int64
 		for i := lo; i < hi; i++ {
 			rt := rowTrains[i]
@@ -418,14 +566,138 @@ func (a *Array) updateStochastic(scale float64, u, v tensor.Vector) {
 				continue
 			}
 			upRow := math.Signbit(u[i]) == sgnScale // sign(u_i·scale) > 0
-			base := i * a.cols
-			for j := 0; j < a.cols; j++ {
+			base := i * cols
+			for j := 0; j < cols; j++ {
 				k := bits.OnesCount64(rt & colTrains[j])
 				if k == 0 {
 					continue
 				}
 				up := upRow == !math.Signbit(v[j]) // XOR with sign(v_j)
 				n += a.pulseFrom(rng, base+j, k, up)
+			}
+		}
+		return n
+	})
+}
+
+// updateStochasticLinear is the specialized coincidence pass for arrays of
+// noiseless linear-step devices. It exploits three structural facts: the
+// per-pulse step involves no random draw and no state dependence, every
+// device shares the model's step parameters (only the per-device scale
+// varies), and for non-stuck devices the weight mirror IS the device weight.
+// The kernel therefore runs entirely on flat arrays — trains, stuck map,
+// scale, mirror — applying the same multiply/add/clip sequence as
+// linearStepDevice.Pulse without ever touching a device object, and settles
+// the per-device state lazily (syncLin). Because no randomness is consumed,
+// the tile streams are not even reseeded (needRNG=false); results are
+// bit-identical to the generic path on the same devices.
+func (a *Array) updateStochasticLinear(sgnScale bool, u, v tensor.Vector) {
+	rowTrains := a.arena.rowTrains
+	colTrains := a.arena.colTrains
+	cols := a.cols
+	stuck := a.stuck
+	hasStuck := a.stuckCount > 0
+	scale := a.linScale
+	wData := a.w.Data
+	dwMin := a.linP.DwMin
+	wMin, wMax := a.linP.WMin, a.linP.WMax
+	// Per-column signed multipliers fold the per-hit direction logic into a
+	// single multiply. A potentiating hit applies (dwMin·scale)·(1+a) and a
+	// depressing hit subtracts (dwMin·scale)·(1−a); subtraction is carried by
+	// the multiplier's sign, which is exact in IEEE arithmetic (x − s and
+	// x + (−s) are the same operation, and a sign flip through a multiply is
+	// exact), so results stay bit-identical to linearStepDevice.Pulse.
+	mulUp := a.arena.colMulUp
+	mulDown := a.arena.colMulDown
+	up, down := 1+a.linP.Asymmetry, -(1 - a.linP.Asymmetry)
+	for j, vj := range v {
+		if !math.Signbit(vj) {
+			mulUp[j], mulDown[j] = up, down
+		} else {
+			mulUp[j], mulDown[j] = down, up
+		}
+	}
+	uniform := a.linUniform && len(scale) > 0
+	if uniform {
+		// One shared scale: fold dwMin·scale into the column tables, so the
+		// per-pulse step is a single L1 load. (dwMin·s)·m for the shared s is
+		// exactly dwMin·scale[idx]·mul[j] for every device.
+		base := dwMin * scale[0]
+		for j := range mulUp {
+			mulUp[j] *= base
+			mulDown[j] *= base
+		}
+	}
+	// Slot-major column index: for each of the BL train slots, the columns
+	// whose train fires in that slot. The coincidence pass then walks, per
+	// row, only the slots the row fires in and only the columns firing in
+	// the same slot — work proportional to actual pulse coincidences, not
+	// rows×cols probes. Applying a device's k coincident pulses one slot at
+	// a time instead of as one burst is bit-identical: each pulse is the same
+	// state-independent add-then-clip, so only the count matters, and slots
+	// are visited in ascending order per row either way.
+	bl := a.cfg.BL
+	off := a.arena.colSlotOff
+	buf := a.arena.colSlotBuf
+	for s := 0; s <= bl; s++ {
+		off[s] = 0
+	}
+	for _, ct := range colTrains {
+		for r := ct; r != 0; r &= r - 1 {
+			off[bits.TrailingZeros64(r)+1]++
+		}
+	}
+	for s := 0; s < bl; s++ {
+		off[s+1] += off[s]
+	}
+	// Fill slot buckets, columns in ascending order within each slot.
+	var cur [64]int32
+	for s := 0; s < bl; s++ {
+		cur[s] = off[s]
+	}
+	for j, ct := range colTrains {
+		for r := ct; r != 0; r &= r - 1 {
+			s := bits.TrailingZeros64(r)
+			buf[cur[s]] = int32(j)
+			cur[s]++
+		}
+	}
+	a.linDirty = true
+	a.runUpdateTiles(false, func(_, lo, hi int, _ *rngutil.Source) int64 {
+		var n int64
+		for i := lo; i < hi; i++ {
+			rt := rowTrains[i]
+			if rt == 0 {
+				continue
+			}
+			mul := mulDown
+			if math.Signbit(u[i]) == sgnScale { // sign(u_i·scale) > 0: row drives up
+				mul = mulUp
+			}
+			base := i * cols
+			row := wData[base : base+cols : base+cols]
+			for rr := rt; rr != 0; rr &= rr - 1 {
+				s := bits.TrailingZeros64(rr)
+				for _, j32 := range buf[off[s]:off[s+1]] {
+					j := int(j32)
+					if hasStuck && stuck[base+j] {
+						continue
+					}
+					var step float64
+					if uniform {
+						step = mul[j]
+					} else {
+						step = dwMin * scale[base+j] * mul[j]
+					}
+					w := row[j] + step
+					if w < wMin {
+						w = wMin
+					} else if w > wMax {
+						w = wMax
+					}
+					row[j] = w
+					n++
+				}
 			}
 		}
 		return n
@@ -453,8 +725,9 @@ func (a *Array) train(p float64) uint64 {
 // pulses with stochastic rounding of the fractional part. The rounding
 // draws and the pulse cycle noise both come from the tile's keyed stream.
 func (a *Array) updateExpected(scale float64, u, v tensor.Vector) {
+	a.syncLin()
 	dw := a.model.MeanStep()
-	a.runUpdateTiles(func(_, lo, hi int, rng *rngutil.Source) int64 {
+	a.runUpdateTiles(true, func(_, lo, hi int, rng *rngutil.Source) int64 {
 		var pulses int64
 		for i := lo; i < hi; i++ {
 			ui := u[i]
@@ -504,8 +777,10 @@ func (a *Array) pulseFrom(rng *rngutil.Source, idx, k int, up bool) int64 {
 
 // pulse is the serial path (programming, single-device addressing): noise
 // draws come from the array's own stream and the count lands directly on
-// Counts.Pulses.
+// Counts.Pulses. It settles any lazily deferred mirror state first, since
+// it pulses the device object directly.
 func (a *Array) pulse(idx, k int, up bool) {
+	a.syncLin()
 	a.Counts.Pulses += a.pulseFrom(a.rng, idx, k, up)
 }
 
@@ -600,15 +875,7 @@ func (a *Array) MaxSaturation() float64 {
 }
 
 // StuckCount reports the number of non-yielding devices.
-func (a *Array) StuckCount() int {
-	n := 0
-	for _, s := range a.stuck {
-		if s {
-			n++
-		}
-	}
-	return n
-}
+func (a *Array) StuckCount() int { return a.stuckCount }
 
 // Program drives every device toward the corresponding target weight with
 // up/down pulses (closed-loop write-verify, maxPulses per device). It is
@@ -654,6 +921,7 @@ func (a *Array) Program(target *tensor.Matrix, maxPulses int) (pulsesUsed int, r
 // closed-loop behaviour of a real programming controller. It reports pulses
 // attempted and the remaining error against the requested target.
 func (a *Array) programDevice(idx int, want float64, maxPulses int) (pulses int, err float64) {
+	a.syncLin() // write-verify reads the device weight directly
 	dw := a.model.MeanStep()
 	aim := a.clampToBounds(want)
 	d := a.dev[idx]

@@ -97,7 +97,11 @@ func (a *Array) FaultHook() FaultHook { return a.hook }
 // devices ignore all subsequent pulses but keep contributing their last
 // weight to MVMs.
 func (a *Array) Freeze(i, j int) {
-	a.stuck[i*a.cols+j] = true
+	idx := i*a.cols + j
+	if !a.stuck[idx] {
+		a.stuck[idx] = true
+		a.stuckCount++
+	}
 }
 
 // FreezeAt freezes device (i, j) at weight w (clipped to the model bounds)
@@ -111,7 +115,10 @@ func (a *Array) FreezeAt(i, j int, w float64) {
 		w = hi
 	}
 	idx := i*a.cols + j
-	a.stuck[idx] = true
+	if !a.stuck[idx] {
+		a.stuck[idx] = true
+		a.stuckCount++
+	}
 	a.w.Data[idx] = w
 }
 

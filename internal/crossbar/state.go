@@ -153,6 +153,7 @@ type ArrayState struct {
 func (a *Array) ExportState() ArrayState {
 	a.acquire()
 	defer a.release()
+	a.syncLin() // settle lazily deferred device state before capturing it
 	st := ArrayState{
 		Rows:    a.rows,
 		Cols:    a.cols,
@@ -200,8 +201,23 @@ func (a *Array) ImportState(st ArrayState) error {
 		}
 	}
 	copy(a.stuck, st.Stuck)
+	a.stuckCount = 0
+	for _, s := range a.stuck {
+		if s {
+			a.stuckCount++
+		}
+	}
 	copy(a.w.Data, st.Mirror)
 	a.rng = rngutil.FromState(st.RNG)
 	a.Counts = st.Counts
+	if a.lin != nil {
+		// Devices and mirror were both overwritten consistently, and the
+		// restored per-device scales must be visible to the flat kernel.
+		a.linDirty = false
+		for i, d := range a.lin {
+			a.linScale[i] = d.scale
+		}
+		a.refreshLinUniform()
+	}
 	return nil
 }

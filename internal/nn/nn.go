@@ -103,25 +103,18 @@ func (d *DenseMat) Backward(dd tensor.Vector) tensor.Vector { return par.MatVecT
 // Update implements Mat.
 func (d *DenseMat) Update(scale float64, u, v tensor.Vector) { d.M.AddOuter(scale, u, v) }
 
-// ForwardBatch implements BatchMat: the batch runs as one (sample ×
-// row-tile) grid on the par worker pool. The tiled kernel preserves the
-// scalar reference summation order, so results are bit-identical to
-// sequential Forward calls at every worker count.
+// ForwardBatch implements BatchMat: the batch runs as one sample-blocked
+// (row-tile × sample-block) grid on the par worker pool (par.MatVecBatch),
+// amortizing each weight-row load over BatchSpan samples. The blocked kernel
+// preserves the scalar reference summation order, so results are
+// bit-identical to sequential Forward calls at every worker count.
 func (d *DenseMat) ForwardBatch(xs []tensor.Vector) []tensor.Vector {
-	ys := make([]tensor.Vector, len(xs))
 	for s, x := range xs {
 		if len(x) != d.M.Cols {
 			panic(fmt.Sprintf("nn: ForwardBatch expects %d inputs, got %d (sample %d)", d.M.Cols, len(x), s))
 		}
-		ys[s] = make(tensor.Vector, d.M.Rows)
 	}
-	rowTiles := par.Tiles(d.M.Rows)
-	par.Run(len(xs)*rowTiles, func(g int) {
-		s, t := g/rowTiles, g%rowTiles
-		lo, hi := par.Bounds(t, d.M.Rows)
-		par.ForwardTile(d.M, xs[s], ys[s], lo, hi)
-	})
-	return ys
+	return par.MatVecBatch(d.M, xs)
 }
 
 // InitXavier fills m with Xavier/Glorot-uniform weights using rng.

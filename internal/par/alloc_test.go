@@ -1,0 +1,56 @@
+package par
+
+import (
+	"testing"
+
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// The allocation contract of the dispatch layer: a hot kernel pays for its
+// own closure and output vector, never for dispatch. These tests are the
+// unit-level twin of the bench-report allocs/op budgets (≤2 on every hot
+// kernel); they skip under -race because detector instrumentation changes
+// allocation counts.
+
+func requireAllocs(t *testing.T, name string, budget float64, fn func()) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	if got := testing.AllocsPerRun(50, fn); got > budget {
+		t.Errorf("%s: %.1f allocs/op, budget %.0f", name, got, budget)
+	}
+}
+
+func TestKernelAllocBudgets(t *testing.T) {
+	defer SetWorkers(0)
+	rng := rngutil.New(1234)
+	m := randomMatrix(256, 256, rng)
+	x := randomVector(256, rng, 7)
+	d := randomVector(256, rng, 5)
+	y := make(tensor.Vector, 256)
+	yT := make(tensor.Vector, 256)
+	xs := make([]tensor.Vector, 8)
+	ys := make([]tensor.Vector, 8)
+	for s := range xs {
+		xs[s] = randomVector(256, rng, 7)
+		ys[s] = make(tensor.Vector, 256)
+	}
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		// Into-variants carry only the dispatch closure (parallel) or
+		// nothing (sequential fallback at 1 worker).
+		requireAllocs(t, "MatVecInto", 1, func() { MatVecInto(m, x, y) })
+		requireAllocs(t, "MatVecTInto", 1, func() {
+			for i := range yT {
+				yT[i] = 0
+			}
+			MatVecTInto(m, d, yT)
+		})
+		requireAllocs(t, "MatVecBatchInto", 1, func() { MatVecBatchInto(m, xs, ys) })
+		// Allocating wrappers add exactly the output vector.
+		requireAllocs(t, "MatVec", 2, func() { MatVec(m, x) })
+		requireAllocs(t, "MatVecT", 2, func() { MatVecT(m, d) })
+	}
+}

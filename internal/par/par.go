@@ -19,6 +19,12 @@
 // Under those two rules the execution schedule cannot be observed, so a
 // campaign table produced at -workers 1 is byte-identical to the same
 // campaign at -workers 8 — the invariant the CI determinism leg enforces.
+//
+// Allocation contract: dispatch is allocation-free in steady state. Workers
+// are persistent goroutines handed jobs directly off an idle stack, and the
+// per-call job descriptors are recycled through a sync.Pool, so a hot
+// kernel pays for its own closure and nothing else — the property the
+// bench-report alloc budgets (≤2 allocs/op on every hot kernel) pin in CI.
 package par
 
 import (
@@ -73,6 +79,146 @@ func Bounds(t, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// job is one Run invocation in flight: the tile function, the atomic tile
+// cursor, and the completion accounting. Jobs are recycled through jobPool;
+// refs counts every goroutine that may still touch the job (the submitting
+// caller plus one per worker hand-off), and the job returns to the pool
+// only when the last reference drops, so a helper that finishes after the
+// caller has already returned can never observe a job that was reset for
+// its next use. Hand-offs are direct (one job to one specific worker),
+// never broadcast, so a job's references are bounded by the worker pool
+// size and jobs recycle promptly.
+type job struct {
+	fn    func(t int)      // tile body (tile-index form)
+	chunk func(lo, hi int) // chunk body (RunChunks form); nil for tile jobs
+	tiles int              // grid size (tile jobs) or chunk count
+	n     int              // total element count for chunk jobs
+	next  atomic.Int64     // tile hand-out cursor
+	done  atomic.Int64     // tiles completed
+	refs  atomic.Int64     // goroutines that may still hold the job
+	wg    sync.WaitGroup   // released when every tile has completed
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// workerState is one persistent pool goroutine. Its park channel carries at
+// most one pending job: a worker is handed a job only by popping it off the
+// idle stack (or at spawn), and it re-registers as idle exactly once per
+// job taken, so a send can never block and a handed job is always worked.
+type workerState struct {
+	park chan *job
+}
+
+// idleWorkers is the stack of workers currently available for hand-off.
+// The slice is reused, so steady-state push/pop does not allocate; the
+// mutex is taken once per hand-off attempt (per Run, not per tile).
+var (
+	idleMu      sync.Mutex
+	idleWorkers []*workerState
+	live        atomic.Int64 // worker goroutines in existence
+)
+
+// workerCap bounds the persistent pool at a small multiple of the CPU
+// count: goroutines beyond that add no parallelism, only stacks. Workers()
+// may exceed this freely; the submitting caller always participates and
+// correctness never depends on how many helpers exist.
+var workerCap = func() int64 {
+	c := int64(2*runtime.NumCPU() + 2)
+	if c > 256 {
+		c = 256
+	}
+	return c
+}()
+
+// worker is the persistent loop each pool goroutine runs: join the job it
+// was spawned with, then forever register as idle, park until handed the
+// next job, join it, drop the reference. A channel hand-off only ever
+// follows an idle-stack pop, so each park send finds the buffer empty.
+func worker(ws *workerState, first *job) {
+	first.work()
+	first.unref()
+	for {
+		idleMu.Lock()
+		idleWorkers = append(idleWorkers, ws)
+		idleMu.Unlock()
+		j := <-ws.park
+		j.work()
+		j.unref()
+	}
+}
+
+// work drains tiles from the job until the cursor passes the grid. The
+// atomic cursor hands each tile to exactly one goroutine; completion is
+// counted separately so the submitter's wait releases only after the last
+// tile body has returned, never merely after the last tile was handed out.
+func (j *job) work() {
+	tiles := j.tiles
+	for {
+		t := int(j.next.Add(1)) - 1
+		if t >= tiles {
+			return
+		}
+		if j.chunk != nil {
+			j.chunk(t*j.n/tiles, (t+1)*j.n/tiles)
+		} else {
+			j.fn(t)
+		}
+		if j.done.Add(1) == int64(tiles) {
+			j.wg.Done()
+		}
+	}
+}
+
+// unref drops one reference and recycles the job when the last holder lets
+// go.
+func (j *job) unref() {
+	if j.refs.Add(-1) == 0 {
+		j.fn = nil
+		j.chunk = nil
+		jobPool.Put(j)
+	}
+}
+
+// dispatch runs a prepared job across the pool: hand the job to up to extra
+// available workers (popping parked ones off the idle stack, spawning
+// persistent ones while under workerCap, and simply keeping the tiles when
+// neither is possible), join the job on the calling goroutine, then wait
+// for the last tile to complete. A hand-off never blocks: the park channel
+// is 1-buffered and the idle-token discipline guarantees at most one
+// outstanding send per worker.
+func dispatch(j *job, extra int) {
+	j.next.Store(0)
+	j.done.Store(0)
+	j.wg.Add(1)
+	j.refs.Store(1) // the caller's reference
+	for w := 0; w < extra; w++ {
+		idleMu.Lock()
+		var ws *workerState
+		if n := len(idleWorkers); n > 0 {
+			ws = idleWorkers[n-1]
+			idleWorkers[n-1] = nil
+			idleWorkers = idleWorkers[:n-1]
+		}
+		idleMu.Unlock()
+		if ws == nil {
+			if live.Add(1) > workerCap {
+				// Pool at capacity and everyone is busy: plenty of runnable
+				// work already; keep the remaining tiles for the caller.
+				live.Add(-1)
+				break
+			}
+			j.refs.Add(1)
+			go worker(&workerState{park: make(chan *job, 1)}, j)
+			continue
+		}
+		j.refs.Add(1)
+		ws.park <- j
+	}
+	j.work()
+	j.wg.Wait()
+	j.unref()
+}
+
 // Run executes fn(t) once for every tile index t in [0, tiles), across up
 // to Workers() goroutines (the caller participates). Tiles are handed out
 // by an atomic counter, so the assignment of tiles to workers — and the
@@ -90,29 +236,11 @@ func Run(tiles int, fn func(t int)) {
 		return
 	}
 	note(tiles, p, false)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(p - 1)
-	for w := 0; w < p-1; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= tiles {
-					return
-				}
-				fn(t)
-			}
-		}()
-	}
-	for {
-		t := int(next.Add(1)) - 1
-		if t >= tiles {
-			break
-		}
-		fn(t)
-	}
-	wg.Wait()
+	j := jobPool.Get().(*job)
+	j.fn = fn
+	j.chunk = nil
+	j.tiles = tiles
+	dispatch(j, p-1)
 }
 
 // RunChunks splits [0, n) into one contiguous chunk per worker (at most
@@ -138,9 +266,12 @@ func RunChunks(n int, fn func(lo, hi int)) {
 		return
 	}
 	noteChunks(p)
-	Run(p, func(c int) {
-		fn(c*n/p, (c+1)*n/p)
-	})
+	j := jobPool.Get().(*job)
+	j.fn = nil
+	j.chunk = fn
+	j.tiles = p
+	j.n = n
+	dispatch(j, p-1)
 }
 
 // RunSeq executes fn(t) for t = 0..tiles-1 in ascending order on the

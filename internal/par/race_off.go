@@ -1,0 +1,9 @@
+//go:build !race
+
+package par
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-contract tests skip under -race: the detector instruments
+// allocations and closures, so AllocsPerRun counts stop reflecting the
+// production binary.
+const RaceEnabled = false

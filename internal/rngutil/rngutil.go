@@ -90,15 +90,28 @@ func (s *Source) Child(label string) *Source {
 }
 
 // Sub derives an independent stream keyed by integers instead of a string
-// label — the allocation-free variant of Child used on hot paths. The
-// derived stream depends only on (seed, keys), never on how many values the
-// parent has drawn, so tile-parallel code can derive per-(op, tile) streams
-// that are identical at any worker count and across checkpoint resume.
-// Sub and Child occupy disjoint key spaces: a Sub stream never collides
-// with a Child stream of the same parent.
+// label. The derived stream depends only on (seed, keys), never on how many
+// values the parent has drawn, so tile-parallel code can derive per-(op,
+// tile) streams that are identical at any worker count and across
+// checkpoint resume. Sub and Child occupy disjoint key spaces: a Sub stream
+// never collides with a Child stream of the same parent. Sub allocates a
+// fresh Source; hot paths that reuse stream objects call SubInto instead.
 func (s *Source) Sub(keys ...uint64) *Source {
-	// FNV-1a over the parent seed and the keys, with a domain-separation
-	// tag so Sub(k...) cannot collide with Child(label).
+	return New(s.subSeed(keys...))
+}
+
+// SubInto repositions dst at the start of the stream Sub(keys...) would
+// return, reusing dst's existing allocations — the alloc-free derivation
+// used by per-tile buffer arenas. dst behaves exactly like a fresh
+// s.Sub(keys...) afterwards (same values, same State accounting).
+func (s *Source) SubInto(dst *Source, keys ...uint64) {
+	dst.Reseed(s.subSeed(keys...))
+}
+
+// subSeed computes the derived seed of the integer-keyed stream space:
+// FNV-1a over the parent seed and the keys, with a domain-separation tag so
+// Sub(k...) cannot collide with Child(label).
+func (s *Source) subSeed(keys ...uint64) uint64 {
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
 		for i := 0; i < 8; i++ {
@@ -112,7 +125,18 @@ func (s *Source) Sub(keys ...uint64) *Source {
 	for _, k := range keys {
 		mix(k)
 	}
-	return New(h)
+	return h
+}
+
+// Reseed repositions s at the start of the stream for seed, reusing every
+// existing allocation — the alloc-free twin of New(seed). The generator
+// state, draw counter, and seed all match a freshly constructed Source.
+func (s *Source) Reseed(seed uint64) {
+	s.seed = seed
+	// Rand.Seed resets the generator and the Rand's cached Read state; the
+	// draw counter is ours to reset (countingSource.Seed leaves it alone).
+	s.Rand.Seed(int64(seed))
+	s.cnt.n = 0
 }
 
 // Seed reports the seed this source was created with.

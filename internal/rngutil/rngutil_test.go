@@ -226,3 +226,67 @@ func TestUniformRange(t *testing.T) {
 		}
 	}
 }
+
+// TestSubIntoMatchesSub pins the alloc-free derivation contract: after
+// SubInto, the destination behaves exactly like a fresh Sub(keys...) —
+// same values, same seed, same State accounting — regardless of where the
+// destination stream was positioned before.
+func TestSubIntoMatchesSub(t *testing.T) {
+	parent := New(31)
+	dst := New(999)
+	for i := 0; i < 17; i++ { // position dst mid-stream before reuse
+		dst.Float64()
+	}
+	for _, keys := range [][]uint64{{0}, {1, 0}, {7, 42}, {1 << 40, 3}} {
+		want := parent.Sub(keys...)
+		parent.SubInto(dst, keys...)
+		if dst.Seed() != want.Seed() {
+			t.Fatalf("keys %v: SubInto seed %d, want %d", keys, dst.Seed(), want.Seed())
+		}
+		if dst.State() != want.State() {
+			t.Fatalf("keys %v: SubInto state %+v, want %+v", keys, dst.State(), want.State())
+		}
+		for i := 0; i < 40; i++ {
+			if dst.NormFloat64() != want.NormFloat64() || dst.Float64() != want.Float64() {
+				t.Fatalf("keys %v: SubInto stream diverged from Sub at draw %d", keys, i)
+			}
+		}
+		if dst.State() != want.State() {
+			t.Fatalf("keys %v: draw accounting diverged: %+v vs %+v", keys, dst.State(), want.State())
+		}
+	}
+}
+
+// TestReseedMatchesNew pins Reseed as the alloc-free twin of New: values,
+// seed, and checkpoint state all match a freshly constructed source, even
+// when the reused source had cached normal-draw state.
+func TestReseedMatchesNew(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 9; i++ {
+		s.NormFloat64() // populate cached generator state worth resetting
+	}
+	s.Reseed(77)
+	want := New(77)
+	if s.Seed() != 77 || s.State() != want.State() {
+		t.Fatalf("Reseed state %+v, want %+v", s.State(), want.State())
+	}
+	for i := 0; i < 50; i++ {
+		if s.NormFloat64() != want.NormFloat64() {
+			t.Fatalf("Reseed stream diverged from New at draw %d", i)
+		}
+	}
+}
+
+// TestSubIntoAllocFree is the property the per-tile update arenas rely on:
+// deriving a substream into an existing Source allocates nothing.
+func TestSubIntoAllocFree(t *testing.T) {
+	parent := New(3)
+	dst := New(0)
+	keys := [2]uint64{9, 4}
+	if got := testing.AllocsPerRun(100, func() {
+		parent.SubInto(dst, keys[0], keys[1])
+		dst.Float64()
+	}); got > 0 {
+		t.Fatalf("SubInto: %.1f allocs/op, want 0", got)
+	}
+}
