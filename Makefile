@@ -63,6 +63,12 @@ determinism:
 	cmp /tmp/serve.w1.txt /tmp/serve.w4.txt
 	cmp /tmp/serve.w1.metrics /tmp/serve.w4.metrics
 	cmp /tmp/serve.w1.traces /tmp/serve.w4.traces
+	$(GO) run ./cmd/serve-campaign -quick -pipeline mlp -batch 4 -workers 1 \
+		-metrics-out /tmp/serve.b4.w1.metrics > /tmp/serve.b4.w1.txt
+	$(GO) run ./cmd/serve-campaign -quick -pipeline mlp -batch 4 -workers 4 \
+		-metrics-out /tmp/serve.b4.w4.metrics > /tmp/serve.b4.w4.txt
+	cmp /tmp/serve.b4.w1.txt /tmp/serve.b4.w4.txt
+	cmp /tmp/serve.b4.w1.metrics /tmp/serve.b4.w4.metrics
 	$(GO) run ./cmd/train-campaign -smoke -workers 1 \
 		-metrics-out /tmp/train.w1.metrics > /tmp/train.w1.txt
 	$(GO) run ./cmd/train-campaign -smoke -workers 4 \
@@ -102,8 +108,12 @@ obs-smoke:
 # Quick benchmark pass: writes a fresh report next to the committed
 # baseline (as BENCH.ci.json), enforces the absolute perf budgets (allocs
 # ≤2 on every engine benchmark, update-512 ≥2x, batched forward-1024
-# ≥2.24x), and gates regressions at 25% against the committed BENCH.json
-# (a regression must show in both raw and calibration-normalized cost).
+# ≥2.24x), and gates regressions at 35% against the committed BENCH.json
+# (a regression must show in both raw and calibration-normalized cost;
+# 35% because the shared runners' DRAM-vs-cache regime swings more than
+# 25% between windows on memory-bound benchmarks, which the cache-resident
+# calibration benchmark cannot normalize away — real kernel regressions
+# this gate exists for measure well beyond 35%).
 # The single-sample forward-512 speedup is memory-bound and noisy on
 # shared runners, so -min-speedup is a coarse 1.5x sanity floor; the
 # enforced headline floors live in bench-report's budget checks.
@@ -114,7 +124,7 @@ obs-smoke:
 # the named-error machinery.
 BENCH_QUICK = $(GO) run ./cmd/bench-report -benchtime 0.3s -workers 4 \
 	-out BENCH.ci.json -baseline BENCH.json \
-	-tolerance 0.25 -min-speedup 1.5
+	-tolerance 0.35 -min-speedup 1.5
 bench-quick:
 	$(BENCH_QUICK) || $(BENCH_QUICK) || $(BENCH_QUICK)
 

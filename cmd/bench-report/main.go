@@ -79,6 +79,13 @@ type Report struct {
 	// SpeedupForwardBatch1024 is the per-batch serial/blocked ratio at 1024
 	// over batchSamples samples — the GEMM-style blocking win.
 	SpeedupForwardBatch1024 float64 `json:"speedup_forward_batch_1024"`
+	// SpeedupUpdateBatch512 is the K-sequential-updates/fused-UpdateBatch
+	// ratio at 512 — what one pass over device state buys over K passes.
+	SpeedupUpdateBatch512 float64 `json:"speedup_update_batch_512"`
+	// SpeedupServeBatch is the end-to-end live-service ratio: an open-loop
+	// saturating workload through serve.Service with single dispatch vs
+	// dynamic request batching on the same digital pipeline.
+	SpeedupServeBatch float64 `json:"speedup_serve_batch"`
 	// ObsEnabled records whether the run measured the instrumented tile
 	// engine (-obs); overhead reports must not be committed as the baseline.
 	ObsEnabled bool `json:"obs_enabled,omitempty"`
@@ -99,13 +106,22 @@ const (
 	batchSpeedupFloor = 2.24
 	// batchSamples is the batch width of the batched-forward benchmarks.
 	batchSamples = 8
+	// updateBatchK is the block size of the fused-update benchmarks.
+	updateBatchK = 8
+	// serveBatchSpeedupFloor is the minimum live-service batching win: the
+	// batched service must move ≥1.5× the requests per second of single
+	// dispatch under the open-loop saturating workload.
+	serveBatchSpeedupFloor = 1.5
 )
 
 // benchReps is how many times each benchmark repeats; the fastest rep is
 // kept. Min-of-N is the standard noise-robust cost estimator on a shared
 // machine: external load only ever slows a run down, so the minimum is the
-// best available estimate of the true cost.
-const benchReps = 3
+// best available estimate of the true cost. Five reps because the shared
+// runners see multi-second bandwidth storms: three one-second reps can sit
+// entirely inside one, and the regression gate then compares a storm
+// minimum against a calm baseline minimum.
+const benchReps = 5
 
 func measure(name string, f func(b *testing.B)) Result {
 	best := Result{Name: name}
@@ -148,6 +164,34 @@ func measurePair(nameS string, fS func(b *testing.B), nameP string, fP func(b *t
 	}
 	sort.Float64s(ratios)
 	return s, p, ratios[len(ratios)/2]
+}
+
+// measurePairMin measures an interleaved pair like measurePair but over
+// reps repetitions, and returns the ratio of the per-arm minima instead of
+// the median per-rep ratio. The whole-service pair needs this: one op runs
+// hundreds of milliseconds, so each rep spans seconds and a noise spell no
+// longer lands on both sides of the same rep — it corrupts one arm of a
+// rep and the per-rep ratio with it. The per-arm minimum discards slow
+// spells on each side independently (the same min-of-N argument measure
+// makes), and the ratio of minima compares the two clean costs.
+func measurePairMin(reps int, nameS string, fS func(b *testing.B), nameP string, fP func(b *testing.B)) (Result, Result, float64) {
+	s := Result{Name: nameS}
+	p := Result{Name: nameP}
+	for rep := 0; rep < reps; rep++ {
+		rs := testing.Benchmark(fS)
+		rp := testing.Benchmark(fP)
+		nsS := float64(rs.T.Nanoseconds()) / float64(rs.N)
+		nsP := float64(rp.T.Nanoseconds()) / float64(rp.N)
+		if rep == 0 || nsS < s.NsPerOp {
+			s.NsPerOp = nsS
+			s.AllocsPerOp, s.BytesPerOp = rs.AllocsPerOp(), rs.AllocedBytesPerOp()
+		}
+		if rep == 0 || nsP < p.NsPerOp {
+			p.NsPerOp = nsP
+			p.AllocsPerOp, p.BytesPerOp = rp.AllocsPerOp(), rp.AllocedBytesPerOp()
+		}
+	}
+	return s, p, s.NsPerOp / p.NsPerOp
 }
 
 // fill seeds a matrix and vectors with the size-keyed deterministic values
@@ -298,7 +342,61 @@ func run(workers int) Report {
 	rep.SpeedupForwardBatch1024 = batchSpeedup
 	par.SetWorkers(0)
 	rep.Benchmarks = append(rep.Benchmarks, batchS, batchP)
+
+	// Fused multi-sample update at 512: the twin applies the same K rank-1
+	// updates as K sequential engine Update calls (K passes over device
+	// state); the fused side applies them as one UpdateBatch (one pass).
+	// Outputs are bit-identical; this pair tracks what the single pass buys.
+	ubS, ubP, ubSpeedup := measurePair(
+		fmt.Sprintf("update_batch_seq_512x%d", updateBatchK), benchUpdateBatch(512, false, workers),
+		fmt.Sprintf("update_batch_fused_512x%d", updateBatchK), benchUpdateBatch(512, true, workers))
+	rep.SpeedupUpdateBatch512 = ubSpeedup
+	par.SetWorkers(0)
+	rep.Benchmarks = append(rep.Benchmarks, ubS, ubP)
+
+	// Live service end to end: the open-loop saturating workload through
+	// serve.Service with single dispatch vs dynamic batching. One op is the
+	// whole workload, so the ratio is a throughput speedup.
+	srvS, srvP, srvSpeedup := measurePairMin(serveBenchReps,
+		fmt.Sprintf("serve_single_%dx%d", serveWidth, serveTotalReqs), benchServe(1, workers),
+		fmt.Sprintf("serve_batch%d_%dx%d", serveBatchMax, serveWidth, serveTotalReqs), benchServe(serveBatchMax, workers))
+	rep.SpeedupServeBatch = srvSpeedup
+	par.SetWorkers(0)
+	par.SetPlan(par.Plan{})
+	rep.Benchmarks = append(rep.Benchmarks, srvS, srvP)
 	return rep
+}
+
+// benchUpdateBatch benchmarks K rank-1 updates on the engine path, applied
+// either fused (one UpdateBatch call) or as K sequential Update calls.
+func benchUpdateBatch(n int, fused bool, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		par.SetWorkers(workers)
+		arr := newArray(n, false)
+		rng := rngutil.New(uint64(8000 + n))
+		us := make([]tensor.Vector, updateBatchK)
+		vs := make([]tensor.Vector, updateBatchK)
+		for k := range us {
+			us[k] = make(tensor.Vector, n)
+			vs[k] = make(tensor.Vector, n)
+			for i := 0; i < n; i++ {
+				us[k][i] = rng.NormFloat64()
+				vs[k][i] = rng.NormFloat64()
+			}
+		}
+		arr.UpdateBatch(0.001, us, vs) // warm the tile and batch arenas
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fused {
+				arr.UpdateBatch(0.001, us, vs)
+			} else {
+				for k := range us {
+					arr.Update(0.001, us[k], vs[k])
+				}
+			}
+		}
+	}
 }
 
 func benchUpdate(n int, reference bool, workers int) func(b *testing.B) {
@@ -332,9 +430,15 @@ var (
 
 // budgeted reports whether a benchmark is on the engine path and therefore
 // under the allocs/op ceiling. Serial twins are exempt: the scalar
-// reference allocates one output per sample by design.
+// reference allocates one output per sample by design. The _seq_ twin of
+// the fused-update pair is K engine updates per op, so the per-op ceiling
+// doesn't fit it either (its fused arm stays budgeted). The serve_ pairs
+// are whole-service throughput workloads (goroutines, channels, and one
+// result per request are the very thing measured), not kernel hot paths,
+// so the kernel alloc ceiling does not apply to them.
 func budgeted(name string) bool {
-	return !strings.Contains(name, "_serial_") && !strings.HasPrefix(name, "calibration")
+	return !strings.Contains(name, "_serial_") && !strings.Contains(name, "_seq_") &&
+		!strings.HasPrefix(name, "calibration") && !strings.HasPrefix(name, "serve_")
 }
 
 // checkBudgets enforces the absolute perf budgets on a finished report and
@@ -354,6 +458,10 @@ func checkBudgets(rep Report) []error {
 	if rep.SpeedupForwardBatch1024 < batchSpeedupFloor {
 		errs = append(errs, fmt.Errorf("%w: batched forward 1024 %.2fx < %.2fx",
 			ErrSpeedupBudget, rep.SpeedupForwardBatch1024, batchSpeedupFloor))
+	}
+	if rep.SpeedupServeBatch < serveBatchSpeedupFloor {
+		errs = append(errs, fmt.Errorf("%w: batched live service %.2fx < %.2fx",
+			ErrSpeedupBudget, rep.SpeedupServeBatch, serveBatchSpeedupFloor))
 	}
 	return errs
 }
@@ -445,7 +553,13 @@ func main() {
 	budgets := flag.Bool("budgets", true, "enforce the absolute alloc and speedup budgets")
 	withObs := flag.Bool("obs", false, "attach the observability registry to the tile engine, measuring instrumented-path overhead")
 	quick := flag.Bool("quick", false, "emit the deterministic kernel checksum table instead of timings")
+	tileSpan := flag.Int("tile-span", 0, "override the par.Plan tile span (0 = default)")
+	batchSpan := flag.Int("batch-span", 0, "override the par.Plan sample-block span (0 = default)")
 	flag.Parse()
+
+	// Zero fields normalize to the default plan, so the flags compose: set
+	// either span alone or both to explore blocking geometries.
+	par.SetPlan(par.Plan{TileSpan: *tileSpan, BatchSpan: *batchSpan})
 
 	if *quick {
 		printChecksums(os.Stdout, *workers)
@@ -469,9 +583,10 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks, workers=%d, forward 512 %.2fx, update 512 %.2fx, batch 1024 %.2fx)\n",
+	fmt.Printf("wrote %s (%d benchmarks, workers=%d, forward 512 %.2fx, update 512 %.2fx, batch 1024 %.2fx, update-batch 512 %.2fx, serve batch %.2fx)\n",
 		*out, len(rep.Benchmarks), rep.Workers,
-		rep.SpeedupForward512, rep.SpeedupUpdate512, rep.SpeedupForwardBatch1024)
+		rep.SpeedupForward512, rep.SpeedupUpdate512, rep.SpeedupForwardBatch1024,
+		rep.SpeedupUpdateBatch512, rep.SpeedupServeBatch)
 
 	failed := false
 	if *budgets {

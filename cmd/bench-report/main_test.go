@@ -108,10 +108,14 @@ func TestBudgetedSelectsEnginePath(t *testing.T) {
 		"backward_parallel_1024":        true,
 		"update_parallel_128":           true,
 		"forward_batch_parallel_1024x8": true,
+		"update_batch_seq_512x8":        false,
+		"update_batch_fused_512x8":      true,
 		"forward_serial_512":            false,
 		"update_serial_512":             false,
 		"forward_batch_serial_1024x8":   false,
 		"calibration_serial_matvec_256": false,
+		"serve_single_1536x192":         false,
+		"serve_batch16_1536x192":        false,
 	} {
 		if got := budgeted(name); got != want {
 			t.Errorf("budgeted(%q) = %v, want %v", name, got, want)
@@ -132,6 +136,7 @@ func TestCheckBudgets(t *testing.T) {
 		},
 		SpeedupUpdate512:        updateSpeedupFloor + 0.5,
 		SpeedupForwardBatch1024: batchSpeedupFloor + 0.5,
+		SpeedupServeBatch:       serveBatchSpeedupFloor + 0.5,
 	}
 	if errs := checkBudgets(clean); len(errs) != 0 {
 		t.Fatalf("clean report violated budgets: %v", errs)
@@ -157,5 +162,12 @@ func TestCheckBudgets(t *testing.T) {
 	errs = checkBudgets(slowBatch)
 	if len(errs) != 1 || !errors.Is(errs[0], ErrSpeedupBudget) {
 		t.Fatalf("batch speedup violation: errs = %v, want one ErrSpeedupBudget", errs)
+	}
+
+	slowServe := clean
+	slowServe.SpeedupServeBatch = serveBatchSpeedupFloor - 0.1
+	errs = checkBudgets(slowServe)
+	if len(errs) != 1 || !errors.Is(errs[0], ErrSpeedupBudget) {
+		t.Fatalf("serve speedup violation: errs = %v, want one ErrSpeedupBudget", errs)
 	}
 }

@@ -38,6 +38,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "replica pool size (0 = default)")
 	rate := flag.Float64("rate", 0, "arrival rate in requests/s (0 = default)")
 	duration := flag.Float64("duration", 0, "arrival window in virtual seconds (0 = default)")
+	batch := flag.Int("batch", 0, "coalesce up to N queued requests per dispatch on every policy arm (0 or 1 = off)")
 	workers := flag.Int("workers", 0, "tile-engine worker count (0 = all CPUs); any value yields bit-identical output")
 	selfcheck := flag.Bool("obs-selfcheck", false, "after the campaign, probe /metrics, /traces and /debug/pprof/profile over HTTP (requires -obs-addr)")
 	var hook obs.Hook
@@ -64,12 +65,13 @@ func main() {
 	if *duration > 0 {
 		cfg.Duration = *duration
 	}
+	cfg = cfg.WithBatch(*batch)
 
 	var err error
 	switch *pipeline {
 	case "all":
-		if *replicas > 0 || *rate > 0 || *duration > 0 {
-			log.Print("note: -replicas/-rate/-duration apply to single pipelines; -pipeline all runs the registered R2 configuration")
+		if *replicas > 0 || *rate > 0 || *duration > 0 || *batch > 1 {
+			log.Print("note: -replicas/-rate/-duration/-batch apply to single pipelines; -pipeline all runs the registered R2 configuration")
 		}
 		e, _ := core.Lookup("R2")
 		fmt.Printf("=== %s: %s ===\npaper: %s\n\n", e.ID, e.Title, e.PaperClaim)

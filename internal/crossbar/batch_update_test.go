@@ -1,0 +1,183 @@
+package crossbar
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rngutil"
+	"repro/internal/tensor"
+)
+
+// batchScript applies three rounds of [forward, K-sample update, forward]
+// to a fresh array, with the update realized either as one UpdateBatch or
+// as K sequential Update calls (fused=false), and returns the observed
+// outputs, final state, and op counters.
+func batchScript(model Model, cfg Config, k int, fused bool, seq bool) ([]tensor.Vector, ArrayState, OpCounts) {
+	a := NewArray(97, 131, model, cfg, rngutil.New(4242))
+	data := rngutil.New(7)
+	var outs []tensor.Vector
+	for step := 0; step < 3; step++ {
+		x := scriptVec(131, 6, data)
+		outs = append(outs, a.Forward(x))
+		us := make([]tensor.Vector, k)
+		vs := make([]tensor.Vector, k)
+		for s := range us {
+			us[s] = scriptVec(97, 4, data)
+			vs[s] = scriptVec(131, 3, data)
+		}
+		switch {
+		case seq:
+			for s := range us {
+				a.Update(0.02, us[s], vs[s])
+			}
+		case fused:
+			a.UpdateBatch(0.02, us, vs)
+		default:
+			a.UpdateBatch(0.02, us, vs)
+		}
+		outs = append(outs, a.Forward(x))
+	}
+	return outs, a.ExportState(), a.Counts
+}
+
+// TestUpdateBatchBitIdentical is the fused multi-sample kernel's
+// correctness gate: for every linear-step variant, K updates applied as
+// one UpdateBatch must leave bit-identical outputs, exported state, and op
+// counters as the same K updates applied sequentially — including against
+// the ReferenceUpdate scalar twin — at several worker counts and batch
+// sizes.
+func TestUpdateBatchBitIdentical(t *testing.T) {
+	defer par.SetWorkers(0)
+	stuck := DefaultConfig()
+	stuck.StuckFraction = 0.08
+	stuck.StuckValueStd = 0.3
+	models := []struct {
+		name  string
+		model *LinearStepModel
+		cfg   Config
+	}{
+		{"ideal", Ideal(), DefaultConfig()},
+		{"device-var", &LinearStepModel{P: LinearStepParams{
+			DwMin: 0.002, DeviceVar: 0.3, WMin: -1, WMax: 1,
+		}}, DefaultConfig()},
+		{"asymmetric-stuck", &LinearStepModel{P: LinearStepParams{
+			DwMin: 0.002, Asymmetry: 0.05, WMin: -0.8, WMax: 0.9,
+		}}, stuck},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, k := range []int{1, 3, 8} {
+				par.SetWorkers(1)
+				wantOuts, wantState, wantCounts := batchScript(tc.model, tc.cfg, k, false, true)
+				ref := tc.cfg
+				ref.ReferenceUpdate = true
+				par.SetWorkers(4)
+				refOuts, refState, refCounts := batchScript(tc.model, ref, k, false, true)
+				if !reflect.DeepEqual(refState, wantState) || refCounts != wantCounts {
+					t.Fatalf("k=%d: sequential reference path disagrees with sequential engine path", k)
+				}
+				for o := range wantOuts {
+					for i := range wantOuts[o] {
+						if math.Float64bits(refOuts[o][i]) != math.Float64bits(wantOuts[o][i]) {
+							t.Fatalf("k=%d: reference output %d element %d diverged", k, o, i)
+						}
+					}
+				}
+				for _, w := range []int{1, 4} {
+					par.SetWorkers(w)
+					gotOuts, gotState, gotCounts := batchScript(tc.model, tc.cfg, k, true, false)
+					if gotCounts != wantCounts {
+						t.Fatalf("k=%d workers=%d: fused counts %+v, want %+v", k, w, gotCounts, wantCounts)
+					}
+					if !reflect.DeepEqual(gotState, wantState) {
+						t.Fatalf("k=%d workers=%d: fused state diverged from sequential", k, w)
+					}
+					for o := range wantOuts {
+						for i := range wantOuts[o] {
+							if math.Float64bits(gotOuts[o][i]) != math.Float64bits(wantOuts[o][i]) {
+								t.Fatalf("k=%d workers=%d: fused output %d element %d diverged", k, w, o, i)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateBatchNonDefaultPlan repeats the fused-vs-sequential identity
+// under a non-default blocking geometry: the plan moves the tile grid (and
+// with it the per-tile RNG keying of other paths), and the fused kernel
+// must track it exactly.
+func TestUpdateBatchNonDefaultPlan(t *testing.T) {
+	defer par.SetPlan(par.DefaultPlan())
+	defer par.SetWorkers(0)
+	par.SetPlan(par.Plan{TileSpan: 23, BatchSpan: 3})
+	par.SetWorkers(4)
+	wantOuts, wantState, wantCounts := batchScript(Ideal(), DefaultConfig(), 5, false, true)
+	gotOuts, gotState, gotCounts := batchScript(Ideal(), DefaultConfig(), 5, true, false)
+	if gotCounts != wantCounts {
+		t.Fatalf("fused counts %+v, want %+v", gotCounts, wantCounts)
+	}
+	if !reflect.DeepEqual(gotState, wantState) {
+		t.Fatal("fused state diverged from sequential under non-default plan")
+	}
+	for o := range wantOuts {
+		for i := range wantOuts[o] {
+			if math.Float64bits(gotOuts[o][i]) != math.Float64bits(wantOuts[o][i]) {
+				t.Fatalf("output %d element %d diverged under non-default plan", o, i)
+			}
+		}
+	}
+}
+
+// TestUpdateBatchFallbacks pins that configurations without a fused kernel
+// (reference path, expected-pulse mode) still produce the sequential
+// result through UpdateBatch's fallback loop.
+func TestUpdateBatchFallbacks(t *testing.T) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(2)
+	for name, cfg := range map[string]Config{
+		"reference": func() Config { c := DefaultConfig(); c.ReferenceUpdate = true; return c }(),
+		"expected":  func() Config { c := DefaultConfig(); c.Update = UpdateExpected; return c }(),
+	} {
+		wantOuts, wantState, wantCounts := batchScript(Ideal(), cfg, 4, false, true)
+		gotOuts, gotState, gotCounts := batchScript(Ideal(), cfg, 4, true, false)
+		if gotCounts != wantCounts || !reflect.DeepEqual(gotState, wantState) {
+			t.Fatalf("%s: fallback batch diverged from sequential", name)
+		}
+		for o := range wantOuts {
+			for i := range wantOuts[o] {
+				if math.Float64bits(gotOuts[o][i]) != math.Float64bits(wantOuts[o][i]) {
+					t.Fatalf("%s: output %d element %d diverged", name, o, i)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateBatchAllocBudget keeps the fused kernel inside the same ≤2
+// allocs/op budget as the sequential hot path once its arena is warm.
+func TestUpdateBatchAllocBudget(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	defer par.SetWorkers(0)
+	par.SetWorkers(4)
+	a := NewArray(256, 256, Ideal(), DefaultConfig(), rngutil.New(21))
+	data := rngutil.New(2)
+	const k = 8
+	us := make([]tensor.Vector, k)
+	vs := make([]tensor.Vector, k)
+	for s := range us {
+		us[s] = scriptVec(256, 4, data)
+		vs[s] = scriptVec(256, 3, data)
+	}
+	fn := func() { a.UpdateBatch(0.02, us, vs) }
+	fn() // warm the arenas
+	if got := testing.AllocsPerRun(30, fn); got > 2 {
+		t.Errorf("UpdateBatch: %.1f allocs/op, budget 2", got)
+	}
+}

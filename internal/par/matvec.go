@@ -122,17 +122,10 @@ func ForwardTile(m *tensor.Matrix, x, y tensor.Vector, lo, hi int) {
 	forwardTile(m.Data, m.Cols, x, y, lo, hi)
 }
 
-// BatchSpan is the sample-block extent of the batched forward kernel: the
-// multi-sample grid shards into BatchSpan-sample column blocks, so one load
-// of a weight row feeds BatchSpan dot products. Like TileSpan it is a
-// constant — the grid must be identical on every machine and at every
-// worker count for results to be portable.
-const BatchSpan = 4
-
 // forwardTileBatch computes ys[s][i] = Σ_j w[i,j]·xs[s][j] for rows
 // lo ≤ i < hi across all samples of the block. Sample-blocking is the
-// GEMM-style amortization: each weight row is streamed once per BatchSpan
-// samples instead of once per sample, quartering the matrix traffic that
+// GEMM-style amortization: each weight row is streamed once per sample
+// block instead of once per sample, dividing the matrix traffic that
 // dominates wide batched MVMs. Every output element still accumulates in
 // strictly ascending j with a single accumulator, so per-sample results are
 // bit-identical to forwardTile and to the scalar reference.
@@ -140,6 +133,30 @@ func forwardTileBatch(w []float64, cols int, xs, ys []tensor.Vector, lo, hi int)
 	for i := lo; i < hi; i++ {
 		row := w[i*cols : (i+1)*cols : (i+1)*cols]
 		s := 0
+		// Six accumulator chains per weight pass — the same in-flight depth
+		// (and register budget: six stream pointers, one shared pointer, six
+		// accumulators) that forwardTile's six row chains use to cover FMA
+		// latency. Four chains leave the kernel latency-bound; eight spill
+		// registers and lose more than the extra chains buy.
+		for ; s+6 <= len(xs); s += 6 {
+			x0 := xs[s][:cols:cols]
+			x1 := xs[s+1][:cols:cols]
+			x2 := xs[s+2][:cols:cols]
+			x3 := xs[s+3][:cols:cols]
+			x4 := xs[s+4][:cols:cols]
+			x5 := xs[s+5][:cols:cols]
+			var a0, a1, a2, a3, a4, a5 float64
+			for j, wj := range row {
+				a0 += wj * x0[j]
+				a1 += wj * x1[j]
+				a2 += wj * x2[j]
+				a3 += wj * x3[j]
+				a4 += wj * x4[j]
+				a5 += wj * x5[j]
+			}
+			ys[s][i], ys[s+1][i], ys[s+2][i] = a0, a1, a2
+			ys[s+3][i], ys[s+4][i], ys[s+5][i] = a3, a4, a5
+		}
 		for ; s+4 <= len(xs); s += 4 {
 			x0 := xs[s][:cols:cols]
 			x1 := xs[s+1][:cols:cols]
@@ -182,20 +199,22 @@ func ForwardTileBatch(m *tensor.Matrix, xs, ys []tensor.Vector, lo, hi int) {
 	forwardTileBatch(m.Data, m.Cols, xs, ys, lo, hi)
 }
 
-// BatchBlocks reports how many BatchSpan-sized sample blocks cover ns
-// samples.
+// BatchBlocks reports how many sample blocks of the active plan's
+// BatchSpan cover ns samples.
 func BatchBlocks(ns int) int {
 	if ns <= 0 {
 		return 0
 	}
-	return (ns + BatchSpan - 1) / BatchSpan
+	span := batchSpan()
+	return (ns + span - 1) / span
 }
 
 // BatchBounds reports the half-open sample range [lo, hi) of block b over
 // ns samples.
 func BatchBounds(b, ns int) (lo, hi int) {
-	lo = b * BatchSpan
-	hi = lo + BatchSpan
+	span := batchSpan()
+	lo = b * span
+	hi = lo + span
 	if hi > ns {
 		hi = ns
 	}

@@ -57,6 +57,23 @@ func DefaultCampaignConfig(seed uint64, quick bool) CampaignConfig {
 	return c
 }
 
+// WithBatch returns a copy of cfg with dynamic request batching enabled on
+// every policy arm: each dispatch coalesces up to max queued requests into
+// one batched read. max <= 1 returns cfg unchanged (the unbatched
+// campaign, bit for bit).
+func (cfg CampaignConfig) WithBatch(max int) CampaignConfig {
+	if max <= 1 {
+		return cfg
+	}
+	pols := make([]Policy, len(cfg.Policies))
+	for i, p := range cfg.Policies {
+		p.BatchMax = max
+		pols[i] = p
+	}
+	cfg.Policies = pols
+	return cfg
+}
+
 // planAt scales the R2 fault processes by the level multiplier for a
 // typical replica. The mix is chosen so every remediation layer has work:
 // read upsets feed the verify-retry path, mild progressive stuck-at and

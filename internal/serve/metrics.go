@@ -21,8 +21,24 @@ type Metrics struct {
 	// Remediation activity. Readmits counts quarantined replicas returned
 	// to rotation after a clean post-recalibration canary.
 	Retries, Hedges, Recals, Fallbacks, Quarantines, Readmits int
+	// Batches counts coalesced blocks dispatched (batching arms only);
+	// Coalesced the requests those blocks carried. Both stay zero with
+	// batching off and neither is a request disposition.
+	Batches, Coalesced int
 
 	latencies []float64 // completion latencies, seconds
+}
+
+// Check verifies the terminal-disposition accounting: every offered
+// request must end in exactly one of completed, shed, expired, or
+// unavailable (Late is a subset of Completed), mirroring the fleet
+// simulator's cluster.Metrics.Check discipline.
+func (m *Metrics) Check() error {
+	terminals := m.Completed + m.Shed + m.Expired + m.Unavailable
+	if terminals != m.Offered {
+		return fmt.Errorf("serve: %d offered requests but %d terminal dispositions", m.Offered, terminals)
+	}
+	return nil
 }
 
 // Goodput is the fraction of offered requests answered on time and

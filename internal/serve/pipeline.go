@@ -30,6 +30,19 @@ type Pipeline interface {
 	Recalibrate() RecalStats
 }
 
+// BatchPipeline is the optional batched-read extension of Pipeline: one
+// call serves a whole coalesced block of inferences with per-sample verify
+// verdicts, equivalent to calling Infer on each input in order but paying
+// the periphery/dispatch cost once. Implementations get the same
+// serialization guarantee as Infer (the owning Replica holds its lock for
+// the whole block).
+type BatchPipeline interface {
+	Pipeline
+	// InferBatch runs one inference per input, returning per-sample outputs
+	// and verify verdicts.
+	InferBatch(xs []tensor.Vector, verify bool) (ys []tensor.Vector, oks []bool)
+}
+
 // RecalStats is the cost of one background recalibration pass.
 type RecalStats struct {
 	// Pulses is the total write pulses issued re-programming the tiles.
@@ -206,6 +219,28 @@ func (p *MLPPipeline) Infer(x tensor.Vector, verify bool) (tensor.Vector, bool) 
 	return y2, relL2(y, y2) <= p.cfg.VerifyTol
 }
 
+// InferBatch implements BatchPipeline: the block's MVMs execute as
+// sample-blocked tile grids (nn.MLP.ForwardBatch → par.MatVecBatchInto),
+// one grid per layer for the whole block instead of one per request, with
+// Infer's verify discipline kept per sample: under verify the block is
+// read twice and each sample's pair is compared individually, so a
+// transient upset flags only the members it touched.
+func (p *MLPPipeline) InferBatch(xs []tensor.Vector, verify bool) ([]tensor.Vector, []bool) {
+	oks := make([]bool, len(xs))
+	ys := p.net.ForwardBatch(xs)
+	if !verify {
+		for i := range oks {
+			oks[i] = true
+		}
+		return ys, oks
+	}
+	ys2 := p.net.ForwardBatch(xs)
+	for i := range xs {
+		oks[i] = relL2(ys[i], ys2[i]) <= p.cfg.VerifyTol
+	}
+	return ys2, oks
+}
+
 // CanaryDivergence implements Pipeline. The canary replay runs through the
 // batched MVM path — all canaries execute as one tile grid per layer —
 // which is bit-identical to replaying them one at a time.
@@ -247,4 +282,4 @@ func (p *MLPPipeline) Recalibrate() RecalStats {
 	return st
 }
 
-var _ Pipeline = (*MLPPipeline)(nil)
+var _ BatchPipeline = (*MLPPipeline)(nil)

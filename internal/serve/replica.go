@@ -31,6 +31,24 @@ func (r *Replica) Infer(x tensor.Vector, verify bool) (tensor.Vector, bool) {
 	return r.pipe.Infer(x, verify)
 }
 
+// InferBatch serializes one coalesced block through the replica's
+// pipeline, taking the pipeline's batched read when it implements
+// BatchPipeline and otherwise running the inferences sequentially under a
+// single lock hold (so the block still pays for one ownership handoff).
+func (r *Replica) InferBatch(xs []tensor.Vector, verify bool) ([]tensor.Vector, []bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bp, ok := r.pipe.(BatchPipeline); ok {
+		return bp.InferBatch(xs, verify)
+	}
+	ys := make([]tensor.Vector, len(xs))
+	oks := make([]bool, len(xs))
+	for i, x := range xs {
+		ys[i], oks[i] = r.pipe.Infer(x, verify)
+	}
+	return ys, oks
+}
+
 // Canary serializes one canary round.
 func (r *Replica) Canary() float64 {
 	r.mu.Lock()

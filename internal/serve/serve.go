@@ -60,6 +60,22 @@ type Policy struct {
 	// Deadline is the per-request completion deadline in seconds.
 	Deadline float64
 
+	// BatchMax enables dynamic request batching: a worker coalesces up to
+	// BatchMax queued requests into one batched inference (the sample-blocked
+	// MVM path), with per-request verify/retry/fallback disposition
+	// preserved and requests that expired in the queue dropped from the
+	// block before dispatch. 0 or 1 keeps today's one-request dispatch
+	// exactly.
+	BatchMax int
+	// BatchWait is the longest a live worker holding a partial block waits
+	// for more arrivals, in seconds. The wait budget is carved from the
+	// earliest pending deadline (the block's head request), so waiting can
+	// never spend time that request needs to be served; it runs on the
+	// service clock, so virtual-time tests control it exactly. 0 dispatches
+	// whatever is immediately queued (the simulator's behaviour: it
+	// coalesces only the backlog present at dispatch time).
+	BatchWait float64
+
 	// VerifyReads enables temporal-redundancy transient detection: every
 	// inference is read twice and a divergent pair is flagged suspect.
 	VerifyReads bool

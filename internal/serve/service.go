@@ -33,6 +33,10 @@ type ServiceCounters struct {
 	// rather than failed, but flagged so operators can see how much of the
 	// traffic got an unverified answer.
 	SuspectServed int64
+	// Batches counts multi-request coalesced dispatches; Coalesced counts
+	// the requests they carried (so Coalesced/Batches is the realized batch
+	// size). Single-request dispatches appear in neither.
+	Batches, Coalesced int64
 }
 
 type request struct {
@@ -71,6 +75,7 @@ type Service struct {
 	served, shed, expired, unavailable atomic.Int64
 	retries, hedges, fallbacks, recals atomic.Int64
 	suspectServed                      atomic.Int64
+	batches, coalesced                 atomic.Int64
 
 	// clock is the single source every deadline-relevant timestamp reads
 	// from: the wall clock in production, a Manual clock in deadline tests.
@@ -85,6 +90,7 @@ type Service struct {
 	mServed, mShed, mExpired, mUnav *obs.Counter
 	mRetries, mHedges, mFbacks      *obs.Counter
 	mRecals, mSuspect               *obs.Counter
+	mBatches, mCoalesced            *obs.Counter
 	mLatency                        *obs.Histogram
 }
 
@@ -150,6 +156,8 @@ func (s *Service) SetObservability(reg *obs.Registry, tr *obs.Tracer) {
 	s.mRecals = reg.Counter("serve_live_recals_total", "recalibration passes").Volatile()
 	s.mSuspect = reg.Counter("serve_suspect_served_total",
 		"requests answered with a verify-failed suspect vector (out of attempts or time)").Volatile()
+	s.mBatches = reg.Counter("serve_live_batches_total", "multi-request coalesced dispatches").Volatile()
+	s.mCoalesced = reg.Counter("serve_live_coalesced_total", "requests served via coalesced dispatches").Volatile()
 	s.mLatency = reg.Histogram("serve_live_latency_seconds",
 		"wall-clock service latency of live requests (windowed)", 1024).Volatile()
 }
@@ -166,6 +174,7 @@ func (s *Service) Counters() ServiceCounters {
 		Retries: s.retries.Load(), Hedges: s.hedges.Load(),
 		Fallbacks: s.fallbacks.Load(), Recals: s.recals.Load(),
 		SuspectServed: s.suspectServed.Load(),
+		Batches:       s.batches.Load(), Coalesced: s.coalesced.Load(),
 	}
 }
 
@@ -192,6 +201,17 @@ func (s *Service) Do(x tensor.Vector) (tensor.Vector, error) {
 		req.span.End(s.sinceStart(s.clock.Now()))
 		return nil, ErrShed
 	}
+	// Re-check closed AFTER the enqueue. If this load still reads false,
+	// the enqueue happened before Close's closed.Store (both are
+	// sequentially consistent atomics), so it also happened before Close's
+	// drain, which therefore answers the request if no worker does. If it
+	// reads true, Close's one-shot drain may already have run without
+	// seeing the request — so sweep the queue here; whoever pops a request
+	// (worker, Close, or this sweep) is its sole answerer, so <-req.done
+	// below can no longer block forever.
+	if s.closed.Load() {
+		s.drainQueue()
+	}
 	r := <-req.done
 	if r.err != nil {
 		req.span.SetErr(r.err.Error())
@@ -211,6 +231,13 @@ func (s *Service) Close() {
 	}
 	close(s.stop)
 	s.wg.Wait()
+	s.drainQueue()
+}
+
+// drainQueue answers every currently queued request with ErrClosed. Both
+// Close and a Do that observed closed after its enqueue sweep with this;
+// a request is answered exactly once because each is popped exactly once.
+func (s *Service) drainQueue() {
 	for {
 		select {
 		case req := <-s.queue:
@@ -223,21 +250,168 @@ func (s *Service) Close() {
 
 func (s *Service) worker() {
 	defer s.wg.Done()
+	batching := s.pol.BatchMax > 1
+	var batch []*request
+	if batching {
+		batch = make([]*request, 0, s.pol.BatchMax)
+	}
 	for {
 		select {
 		case <-s.stop:
 			return
 		case req := <-s.queue:
-			req.done <- s.serveOne(req)
+			if batching {
+				batch = s.gather(batch[:0], req)
+				s.serveBatch(batch)
+			} else {
+				req.done <- s.serveOne(req)
+			}
 		}
 	}
+}
+
+// gather coalesces up to Policy.BatchMax queued requests behind first.
+// Whatever is already queued is taken immediately; if the block is still
+// short and BatchWait allows, the worker waits for more arrivals on the
+// service clock, with the wait budget carved from the head request's
+// deadline (deadlines are arrival-ordered, so first is the block's
+// earliest) — waiting never spends time that request needs. Every request
+// gather returns is answered by serveBatch, including on shutdown: a stop
+// signal merely cuts the wait short.
+func (s *Service) gather(batch []*request, first *request) []*request {
+	batch = append(batch, first)
+	max := s.pol.BatchMax
+	for len(batch) < max {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) >= max || s.pol.BatchWait <= 0 {
+		return batch
+	}
+	budget := time.Duration(s.pol.BatchWait * float64(time.Second))
+	if slack := first.deadline.Sub(s.clock.Now()); slack < budget {
+		budget = slack
+	}
+	if budget <= 0 {
+		return batch
+	}
+	wait := s.clock.After(budget)
+	for len(batch) < max {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+		case <-wait:
+			return batch
+		case <-s.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// serveBatch disposes one coalesced block. Requests whose deadline elapsed
+// in the queue are dropped from the block before dispatch (counted
+// expired, answered ErrDeadline — never served, never double-counted). A
+// lone survivor takes the exact sequential path, so BatchMax=1 semantics
+// also hold for every block that degenerates to one request. Larger
+// blocks are served with one batched read on the picked replica; each
+// member keeps its individual disposition — verified members complete,
+// verify-failed members continue through the sequential retry/suspect
+// machinery with the batched read counted as their first attempt, and
+// with no replica in rotation every member takes its own fallback.
+func (s *Service) serveBatch(batch []*request) {
+	now := s.clock.Now()
+	live := batch[:0]
+	for _, req := range batch {
+		if now.After(req.deadline) {
+			s.expired.Add(1)
+			s.mExpired.Inc()
+			req.done <- result{err: ErrDeadline}
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if len(live) == 1 {
+		live[0].done <- s.serveOne(live[0])
+		return
+	}
+	primary := s.pick(nil)
+	if primary == nil {
+		for _, req := range live {
+			req.done <- s.fallbackServe(req)
+		}
+		return
+	}
+	s.batches.Add(1)
+	s.mBatches.Inc()
+	s.coalesced.Add(int64(len(live)))
+	s.mCoalesced.Add(int64(len(live)))
+	xs := make([]tensor.Vector, len(live))
+	dispatchAt := s.sinceStart(s.clock.Now())
+	for i, req := range live {
+		xs[i] = req.x
+		req.span.Stage("dispatch", dispatchAt)
+	}
+	t0 := s.clock.Now()
+	ys, oks := primary.InferBatch(xs, s.pol.VerifyReads)
+	took := s.clock.Now().Sub(t0).Seconds()
+	for i, req := range live {
+		primary.Health.ObserveServe(took, !oks[i])
+		if oks[i] {
+			s.served.Add(1)
+			s.mServed.Inc()
+			req.done <- result{y: ys[i]}
+			continue
+		}
+		req.done <- s.serveAfterBatchFail(req, ys[i])
+	}
+}
+
+// serveAfterBatchFail continues a request whose batched read came back
+// verify-failed, preserving the sequential per-request disposition: the
+// batched read was attempt 0 and produced a suspect vector; remaining
+// attempts retry with backoff through the normal loop (hedging and
+// fallback included), and with no attempts left the suspect read is
+// served — counted and tagged — rather than nothing.
+func (s *Service) serveAfterBatchFail(req *request, suspect tensor.Vector) result {
+	req.span.Stage("verify-read", s.sinceStart(s.clock.Now()))
+	if s.pol.MaxAttempts > 1 {
+		s.retries.Add(1)
+		s.mRetries.Inc()
+		backoff := s.pol.RetryBackoff
+		if backoff > 0 {
+			s.clock.Sleep(time.Duration(backoff * float64(time.Second)))
+			backoff *= 2
+		}
+		return s.serveLoop(req, 1, backoff)
+	}
+	if suspect != nil {
+		s.markSuspectServed(req)
+		s.served.Add(1)
+		s.mServed.Inc()
+		return result{y: suspect}
+	}
+	s.expired.Add(1)
+	s.mExpired.Inc()
+	return result{err: ErrDeadline}
 }
 
 // pick chooses the next replica in rotation, healthy ones first, skipping
 // those in avoid. Returns nil when every replica is quarantined.
 func (s *Service) pick(avoid *Replica) *Replica {
 	n := len(s.replicas)
-	start := int(s.rr.Add(1)) % n
+	// Reduce in uint64 before converting: int(Add(1)) % n goes negative
+	// once the counter maps to a negative int (uint64 wrap, or any count
+	// past 2³¹ on 32-bit platforms) and would index out of range.
+	start := int(s.rr.Add(1) % uint64(n))
 	var degraded *Replica
 	for i := 0; i < n; i++ {
 		r := s.replicas[(start+i)%n]
@@ -259,8 +433,14 @@ func (s *Service) pick(avoid *Replica) *Replica {
 // serveOne runs the full per-request policy: replica selection, verify
 // reads, bounded retry with backoff, hedging, deadline, digital fallback.
 func (s *Service) serveOne(req *request) result {
-	backoff := s.pol.RetryBackoff
-	for attempt := 0; attempt < s.pol.MaxAttempts; attempt++ {
+	return s.serveLoop(req, 0, s.pol.RetryBackoff)
+}
+
+// serveLoop is serveOne's attempt loop, entered at a later attempt (with
+// the backoff already advanced) when an earlier attempt happened outside —
+// a coalesced batched read that failed verify.
+func (s *Service) serveLoop(req *request, attempt int, backoff float64) result {
+	for ; attempt < s.pol.MaxAttempts; attempt++ {
 		if s.clock.Now().After(req.deadline) {
 			s.expired.Add(1)
 			s.mExpired.Inc()

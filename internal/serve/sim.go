@@ -25,6 +25,13 @@ type LatencyModel struct {
 	TailMult float64
 	// VerifyMult scales attempts that read twice (temporal redundancy).
 	VerifyMult float64
+	// BatchPerExtra is the marginal service-time cost of each extra sample
+	// in a coalesced block, as a fraction of the single-attempt draw: a
+	// K-request block costs attempt·(1 + BatchPerExtra·(K−1)). Values below
+	// 1 model the periphery/dispatch amortization batched MVMs buy; the
+	// field is consulted only by batched dispatches, so arms with batching
+	// off are unaffected.
+	BatchPerExtra float64
 	// CanaryPerVec is the added replica busy time per canary vector.
 	CanaryPerVec float64
 	// DigitalMult scales Base for the digital float fallback path.
@@ -42,16 +49,20 @@ type LatencyModel struct {
 // replica matters, short enough that it returns within the run.
 func DefaultLatencyModel() LatencyModel {
 	return LatencyModel{
-		Base:         1e-3,
-		Jitter:       0.25,
-		TailProb:     0.04,
-		TailMult:     9,
-		VerifyMult:   1.8,
-		CanaryPerVec: 0.5e-3,
-		DigitalMult:  3,
-		PulseTime:    2e-7,
-		ReadTime:     2e-6,
-		RecalFloor:   0.05,
+		Base:       1e-3,
+		Jitter:     0.25,
+		TailProb:   0.04,
+		TailMult:   9,
+		VerifyMult: 1.8,
+		// One extra coalesced sample costs a quarter of a lone read: the
+		// block pays periphery once and streams the extra MVMs through the
+		// already-open tiles.
+		BatchPerExtra: 0.25,
+		CanaryPerVec:  0.5e-3,
+		DigitalMult:   3,
+		PulseTime:     2e-7,
+		ReadTime:      2e-6,
+		RecalFloor:    0.05,
 	}
 }
 
@@ -283,6 +294,12 @@ func (s *sim) exportObs() {
 	add("serve_sim_fallbacks_total", "requests served by the digital fallback", s.m.Fallbacks)
 	add("serve_sim_quarantines_total", "replica quarantine transitions", s.m.Quarantines)
 	add("serve_sim_readmits_total", "quarantined replicas re-admitted after recalibration", s.m.Readmits)
+	// Batch counters appear only when an arm actually coalesced, so the
+	// stable dump of batching-off campaigns is unchanged byte for byte.
+	if s.m.Batches > 0 {
+		add("serve_sim_batches_total", "coalesced blocks dispatched by batching arms", s.m.Batches)
+		add("serve_sim_coalesced_total", "requests served inside coalesced blocks", s.m.Coalesced)
+	}
 	h := r.Histogram("serve_sim_latency_seconds",
 		"completion latency of simulated requests (virtual time, exact quantiles)", 0)
 	for _, l := range s.m.latencies {
@@ -504,12 +521,21 @@ func (s *sim) complete(t float64, req *simReq, correct bool) {
 	req.span.End(t)
 }
 
-// pump hands a freed replica the oldest still-live queued request.
+// pump hands a freed replica the oldest still-live queued requests: one
+// with batching off, up to Policy.BatchMax coalesced into a single block
+// otherwise. Requests whose deadline already passed in the queue are
+// expired here — before dispatch — with the same accounting either way, so
+// a stale request never consumes replica time and is never double-counted.
 func (s *sim) pump(t float64, rep *simReplica) {
 	if rep.dead || rep.recalling || rep.freeAt > t || rep.Health.State() == Quarantined {
 		return
 	}
-	for len(s.queue) > 0 {
+	max := s.cfg.Policy.BatchMax
+	if max < 1 {
+		max = 1
+	}
+	var batch []*simReq
+	for len(s.queue) > 0 && len(batch) < max {
 		req := s.queue[0]
 		s.queue = s.queue[1:]
 		if req.done {
@@ -522,8 +548,46 @@ func (s *sim) pump(t float64, rep *simReplica) {
 			req.span.End(t)
 			continue
 		}
-		s.dispatch(t, req, rep, false)
-		return
+		batch = append(batch, req)
+	}
+	switch len(batch) {
+	case 0:
+	case 1:
+		// A lone survivor takes the ordinary dispatch path, so BatchMax=1
+		// (and any block that coalesces to one) is bit-identical to the
+		// unbatched service: same latency draw, same hedge eligibility.
+		s.dispatch(t, batch[0], rep, false)
+	default:
+		s.dispatchBatch(t, batch, rep)
+	}
+}
+
+// dispatchBatch runs one coalesced block: the analog inference executes as
+// a single batched read (the sample-blocked MVM path, with Infer's verify
+// discipline kept per sample), one service-time draw prices the whole
+// block — scaled by BatchPerExtra per extra member — and every member
+// completes at that same instant carrying its own correctness and verify
+// verdict, so retry/fallback disposition stays per-request. Blocks are
+// never hedged: hedging prices single stragglers, and a block already
+// amortizes its dispatch.
+func (s *sim) dispatchBatch(t float64, batch []*simReq, rep *simReplica) {
+	s.m.Batches++
+	s.m.Coalesced += len(batch)
+	xs := make([]tensor.Vector, len(batch))
+	for i, req := range batch {
+		req.attempts++
+		req.inFlight++
+		req.span.Stage("dispatch", t)
+		xs[i] = req.X
+	}
+	ys, oks := rep.InferBatch(xs, s.cfg.Policy.VerifyReads)
+	dur := s.cfg.Lat.attempt(s.latRN, s.cfg.Policy.VerifyReads)
+	dur *= 1 + s.cfg.Lat.BatchPerExtra*float64(len(batch)-1)
+	rep.freeAt = t + dur
+	for i, req := range batch {
+		att := &simAttempt{req: req, rep: rep, dur: dur, correct: ys[i].ArgMax() == req.Want, ok: oks[i],
+			span: req.span.Child("attempt", t)}
+		s.push(t+dur, evDone, req, rep, att)
 	}
 }
 
